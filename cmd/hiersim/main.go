@@ -1,0 +1,105 @@
+// Command hiersim runs one cloud resource-allocation and power-management
+// configuration end to end and prints the summary (and optionally the
+// accumulated latency/energy series).
+//
+// Usage:
+//
+//	hiersim -system hierarchical -servers 30 -jobs 95000
+//	hiersim -system round-robin -servers 40 -jobs 20000 -series
+//	hiersim -system fixed-timeout -timeout 60 -trace mytrace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hierdrl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hiersim: ")
+
+	system := flag.String("system", "hierarchical",
+		"system to run: round-robin | drl-only | hierarchical | fixed-timeout")
+	servers := flag.Int("servers", 30, "cluster size M")
+	jobs := flag.Int("jobs", 95000, "synthetic workload length (ignored with -trace)")
+	warmup := flag.Int("warmup", 20000, "offline-phase rollout length for DRL systems")
+	timeout := flag.Float64("timeout", 60, "fixed timeout seconds (system=fixed-timeout)")
+	seed := flag.Int64("seed", 1, "random seed")
+	traceFile := flag.String("trace", "", "CSV trace to replay instead of a synthetic workload")
+	series := flag.Bool("series", false, "print the accumulated latency/energy series")
+	predictor := flag.String("predictor", "lstm",
+		"workload predictor for the hierarchical local tier: lstm | ewma | last-value | window-mean")
+	flag.Parse()
+
+	var cfg hierdrl.Config
+	switch *system {
+	case "round-robin":
+		cfg = hierdrl.RoundRobin(*servers)
+	case "drl-only":
+		cfg = hierdrl.DRLOnly(*servers)
+	case "hierarchical":
+		cfg = hierdrl.Hierarchical(*servers)
+		cfg.Predictor = hierdrl.PredictorKind(*predictor)
+	case "fixed-timeout":
+		cfg = hierdrl.FixedTimeoutBaseline(*servers, *timeout)
+	default:
+		log.Fatalf("unknown system %q", *system)
+	}
+	cfg.Seed = *seed
+	if *series {
+		cfg.CheckpointEvery = max(1, *jobs/20)
+	}
+
+	var tr *hierdrl.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatalf("open trace: %v", err)
+		}
+		tr, err = hierdrl.ReadTraceCSV(f)
+		cerr := f.Close()
+		if err != nil {
+			log.Fatalf("parse trace: %v", err)
+		}
+		if cerr != nil {
+			log.Fatalf("close trace: %v", cerr)
+		}
+	} else {
+		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
+	}
+	if cfg.Alloc == hierdrl.AllocDRL && *warmup > 0 {
+		cfg.WarmupTrace = hierdrl.SyntheticTraceForCluster(*warmup, *servers, *seed+1000)
+	}
+
+	res, err := hierdrl.Run(cfg, tr)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	s := res.Summary
+	fmt.Printf("system            %s\n", s.Policy)
+	fmt.Printf("servers           %d\n", s.M)
+	fmt.Printf("jobs              %d\n", s.Jobs)
+	fmt.Printf("simulated span    %.0f s (%.2f days)\n", s.DurationSec, s.DurationSec/86400)
+	fmt.Printf("energy            %.2f kWh\n", s.EnergykWh)
+	fmt.Printf("acc latency       %.2f x10^6 s\n", s.AccLatencySec/1e6)
+	fmt.Printf("avg power         %.2f W\n", s.AvgPowerW)
+	fmt.Printf("avg latency       %.1f s\n", s.AvgLatencySec)
+	fmt.Printf("p95 latency       %.1f s\n", s.P95LatencySec)
+	fmt.Printf("mean wait         %.1f s\n", s.MeanWaitSec)
+	fmt.Printf("wakeups/shutdowns %d / %d\n", res.TotalWakeups, res.TotalShutdowns)
+	if res.AgentDiag != "" {
+		fmt.Printf("agent             %s\n", res.AgentDiag)
+	}
+	if *series {
+		fmt.Println("\njobs,time_s,acc_latency_s,energy_kwh")
+		for _, cp := range res.Checkpoints {
+			fmt.Printf("%d,%.0f,%.0f,%.4f\n",
+				cp.Jobs, cp.Time.Seconds(), cp.AccLatencySec, cp.EnergykWh)
+		}
+	}
+}

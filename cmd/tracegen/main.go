@@ -1,0 +1,63 @@
+// Command tracegen generates synthetic Google-style workload traces in the
+// canonical CSV format ("arrival,duration,cpu,mem,disk").
+//
+// Usage:
+//
+//	tracegen -jobs 95000 -servers 30 -seed 1 -out trace.csv
+//
+// Omitting -out writes to stdout. The -servers flag scales the arrival rate
+// so the offered load matches the paper's 30-server operating point on a
+// cluster of that size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"hierdrl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	jobs := flag.Int("jobs", 95000, "number of jobs to generate")
+	servers := flag.Int("servers", 30, "cluster size the workload is calibrated for")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print workload statistics to stderr")
+	flag.Parse()
+
+	if *jobs <= 0 || *servers <= 0 {
+		log.Fatal("-jobs and -servers must be positive")
+	}
+
+	tr := hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("create %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("close %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := hierdrl.WriteTraceCSV(w, tr); err != nil {
+		log.Fatalf("write trace: %v", err)
+	}
+	if *stats {
+		s := hierdrl.TraceStatsOf(tr)
+		fmt.Fprintf(os.Stderr,
+			"jobs=%d span=%.0fs meanGap=%.2fs meanDur=%.0fs p95Dur=%.0fs meanCPU=%.3f offeredCPU=%.2f servers\n",
+			s.Jobs, s.Span, s.MeanInterArrive, s.MeanDuration, s.P95Duration,
+			s.MeanReq[0], s.OfferedLoad[0])
+	}
+}

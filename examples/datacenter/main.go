@@ -1,0 +1,57 @@
+// Datacenter: the paper's headline comparison (Sec. VII-B) at adjustable
+// scale — round-robin vs DRL-only vs the hierarchical framework on the same
+// week-like workload, with the Fig. 8-style accumulated series.
+//
+//	go run ./examples/datacenter            # 20x-reduced, ~30 s
+//	go run ./examples/datacenter -full      # 95,000 jobs, tens of minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hierdrl"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full 95,000-job operating point")
+	servers := flag.Int("servers", 30, "cluster size M")
+	flag.Parse()
+
+	sc := hierdrl.BenchScale(*servers)
+	if *full {
+		sc = hierdrl.FullScale(*servers)
+	}
+
+	fmt.Printf("comparing 3 systems on %d servers, %d jobs (warmup %d)...\n\n",
+		*servers, sc.Jobs, sc.WarmupJobs)
+	cmp, err := hierdrl.RunComparison(*servers, sc, sc.Jobs/10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %14s %18s %12s %14s\n",
+		"policy", "Energy (kWh)", "Latency (10^6 s)", "Power (W)", "AvgLat (s)")
+	for _, s := range cmp.Rows() {
+		fmt.Printf("%-14s %14.2f %18.3f %12.1f %14.1f\n",
+			s.Policy, s.EnergykWh, s.AccLatencySec/1e6, s.AvgPowerW, s.AvgLatencySec)
+	}
+
+	rr := cmp.RoundRobin.Summary
+	hier := cmp.Hierarchical.Summary
+	fmt.Printf("\nhierarchical saves %.1f%% power/energy vs round-robin\n",
+		100*(rr.EnergykWh-hier.EnergykWh)/rr.EnergykWh)
+
+	fmt.Println("\naccumulated energy series (Fig. 8(b) shape):")
+	fmt.Printf("%-10s %14s %14s %14s\n", "jobs", "round-robin", "drl-only", "hierarchical")
+	n := min(len(cmp.RoundRobin.Checkpoints),
+		min(len(cmp.DRLOnly.Checkpoints), len(cmp.Hierarchical.Checkpoints)))
+	for i := 0; i < n; i++ {
+		fmt.Printf("%-10d %14.2f %14.2f %14.2f\n",
+			cmp.RoundRobin.Checkpoints[i].Jobs,
+			cmp.RoundRobin.Checkpoints[i].EnergykWh,
+			cmp.DRLOnly.Checkpoints[i].EnergykWh,
+			cmp.Hierarchical.Checkpoints[i].EnergykWh)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: run the paper's hierarchical framework on a small synthetic
+// workload and print the Table-I-style summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hierdrl"
+)
+
+func main() {
+	const servers = 10
+
+	// A Google-style workload calibrated for a 10-server cluster
+	// (~3,000 jobs, a few simulated hours).
+	workload := hierdrl.SyntheticTraceForCluster(3000, servers, 1)
+
+	// The proposed system: DRL global tier + RL/LSTM local tier. The
+	// warmup trace drives the offline phase of Algorithm 1 (experience
+	// memory fill, autoencoder pretraining, fitted-Q sweeps).
+	cfg := hierdrl.Hierarchical(servers)
+	cfg.WarmupTrace = hierdrl.SyntheticTraceForCluster(1500, servers, 2)
+	cfg.Predictor = hierdrl.PredictorEWMA // swap for PredictorLSTM for the full paper setup
+
+	res, err := hierdrl.Run(cfg, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hierarchical framework on", servers, "servers:")
+	fmt.Printf("  energy       %.2f kWh\n", res.Summary.EnergykWh)
+	fmt.Printf("  avg power    %.1f W\n", res.Summary.AvgPowerW)
+	fmt.Printf("  avg latency  %.1f s per job\n", res.Summary.AvgLatencySec)
+	fmt.Printf("  transitions  %d wakeups, %d shutdowns\n",
+		res.TotalWakeups, res.TotalShutdowns)
+	fmt.Printf("  agent        %s\n", res.AgentDiag)
+
+	// Baseline for context: round-robin with always-on servers.
+	rr, err := hierdrl.Run(hierdrl.RoundRobin(servers), workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving := 100 * (rr.Summary.EnergykWh - res.Summary.EnergykWh) / rr.Summary.EnergykWh
+	fmt.Printf("\nvs round-robin: %.1f%% energy saving (%.2f kWh -> %.2f kWh)\n",
+		saving, rr.Summary.EnergykWh, res.Summary.EnergykWh)
+}

@@ -1,0 +1,76 @@
+// Tradeoff: the Fig. 10 study — sweep the latency-emphasis weight and plot
+// (in ASCII) the average-latency / average-energy frontier of the
+// hierarchical framework against DRL + fixed-timeout baselines.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"hierdrl"
+)
+
+func main() {
+	const m = 10
+	sc := hierdrl.Scale{Jobs: 3000, WarmupJobs: 1000, Seed: 1, ClusterM: m}
+	lambdas := []float64{0.2, 0.5, 0.8}
+
+	fmt.Printf("sweeping lambda in %v on %d servers, %d jobs per run...\n",
+		lambdas, m, sc.Jobs)
+	curves, err := hierdrl.RunTradeoff(m, sc, lambdas)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type curve struct {
+		name string
+		pts  []hierdrl.TradeoffPoint
+	}
+	all := []curve{
+		{"hierarchical", curves.Hierarchical},
+		{"fixed-30", curves.Fixed30},
+		{"fixed-60", curves.Fixed60},
+		{"fixed-90", curves.Fixed90},
+	}
+
+	fmt.Printf("\n%-14s %8s %14s %16s\n", "system", "lambda", "avg latency", "avg energy/job")
+	var maxLat, maxE float64
+	for _, c := range all {
+		for _, p := range c.pts {
+			fmt.Printf("%-14s %8.2f %12.1f s %13.1f kJ\n",
+				c.name, p.Weight, p.AvgLatencySec, p.AvgEnergyJPerJob/1e3)
+			maxLat = math.Max(maxLat, p.AvgLatencySec)
+			maxE = math.Max(maxE, p.AvgEnergyJPerJob)
+		}
+	}
+
+	// ASCII scatter: latency on x, energy on y.
+	const w, h = 64, 16
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", w))
+	}
+	marks := []byte{'H', '3', '6', '9'}
+	for ci, c := range all {
+		for _, p := range c.pts {
+			x := int(p.AvgLatencySec / maxLat * float64(w-1))
+			y := h - 1 - int(p.AvgEnergyJPerJob/maxE*float64(h-1))
+			grid[y][x] = marks[ci]
+		}
+	}
+	fmt.Println("\nenergy/job ^   (H=hierarchical, 3/6/9=fixed timeout 30/60/90)")
+	for _, row := range grid {
+		fmt.Printf("  %s\n", row)
+	}
+	fmt.Printf("  %s> latency\n", strings.Repeat("-", w))
+
+	refLat, refE := maxLat*1.05, maxE*1.05
+	fmt.Println("\ndominated hypervolume (larger = better trade-off):")
+	for _, c := range all {
+		fmt.Printf("  %-14s %.4g\n", c.name, hierdrl.HypervolumeOf(c.pts, refLat, refE))
+	}
+}

@@ -1,0 +1,330 @@
+package hierdrl
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/global"
+	"hierdrl/internal/local"
+	"hierdrl/internal/lstm"
+	"hierdrl/internal/mat"
+	"hierdrl/internal/trace"
+)
+
+// Scale sizes an experiment. FullScale reproduces the paper's operating
+// point; BenchScale keeps `go test -bench` runs tractable.
+type Scale struct {
+	// Jobs is the measured workload length (the paper reports at 95,000).
+	Jobs int
+	// WarmupJobs sizes the offline-phase rollout for DRL agents.
+	WarmupJobs int
+	// Seed drives workload generation and every learner.
+	Seed int64
+	// ClusterM is the reference cluster size of the *measured* runs; the
+	// trace arrival rate is scaled to it (see SyntheticTraceForCluster).
+	ClusterM int
+}
+
+// FullScale is the paper's configuration: 95,000 jobs on a 30/40-server
+// cluster (~one simulated week).
+func FullScale(m int) Scale {
+	return Scale{Jobs: 95000, WarmupJobs: 20000, Seed: 1, ClusterM: m}
+}
+
+// BenchScale is a 20x-reduced configuration for benchmarks and CI.
+func BenchScale(m int) Scale {
+	return Scale{Jobs: 4750, WarmupJobs: 1000, Seed: 1, ClusterM: m}
+}
+
+// Validate checks the scale.
+func (s Scale) Validate() error {
+	if s.Jobs <= 0 || s.WarmupJobs < 0 || s.ClusterM <= 0 {
+		return fmt.Errorf("hierdrl: invalid scale %+v", s)
+	}
+	return nil
+}
+
+func (s Scale) trace(seedOffset int64) *Trace {
+	return SyntheticTraceForCluster(s.Jobs, s.ClusterM, s.Seed+seedOffset)
+}
+
+func (s Scale) warmupTrace(seedOffset int64) *Trace {
+	if s.WarmupJobs == 0 {
+		return nil
+	}
+	return SyntheticTraceForCluster(s.WarmupJobs, s.ClusterM, s.Seed+1000+seedOffset)
+}
+
+// Comparison holds the three-system results of Table I / Fig. 8 / Fig. 9.
+type Comparison struct {
+	RoundRobin   *Result
+	DRLOnly      *Result
+	Hierarchical *Result
+}
+
+// Rows returns the Table I rows in the paper's order.
+func (c *Comparison) Rows() []Summary {
+	return []Summary{c.RoundRobin.Summary, c.DRLOnly.Summary, c.Hierarchical.Summary}
+}
+
+// RunComparison executes the paper's three systems on the same workload with
+// M servers — the engine behind Table I (checkpointEvery = 0) and the
+// Fig. 8/9 accumulated series (checkpointEvery > 0).
+func RunComparison(m int, sc Scale, checkpointEvery int) (*Comparison, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	tr := sc.trace(0)
+	warm := sc.warmupTrace(0)
+
+	rrCfg := RoundRobin(m)
+	rrCfg.Seed = sc.Seed
+	rrCfg.CheckpointEvery = checkpointEvery
+	rr, err := Run(rrCfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("hierdrl: round-robin: %w", err)
+	}
+
+	drlCfg := DRLOnly(m)
+	drlCfg.Seed = sc.Seed
+	drlCfg.CheckpointEvery = checkpointEvery
+	drlCfg.WarmupTrace = warm
+	drl, err := Run(drlCfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("hierdrl: drl-only: %w", err)
+	}
+
+	hierCfg := Hierarchical(m)
+	hierCfg.Seed = sc.Seed
+	hierCfg.CheckpointEvery = checkpointEvery
+	hierCfg.WarmupTrace = warm
+	hier, err := Run(hierCfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("hierdrl: hierarchical: %w", err)
+	}
+	return &Comparison{RoundRobin: rr, DRLOnly: drl, Hierarchical: hier}, nil
+}
+
+// TradeoffCurves holds the Fig. 10 study: one point series per system.
+type TradeoffCurves struct {
+	Hierarchical []TradeoffPoint
+	Fixed30      []TradeoffPoint
+	Fixed60      []TradeoffPoint
+	Fixed90      []TradeoffPoint
+}
+
+// All returns every point (for hypervolume comparisons).
+func (tc *TradeoffCurves) All() [][]TradeoffPoint {
+	return [][]TradeoffPoint{tc.Hierarchical, tc.Fixed30, tc.Fixed60, tc.Fixed90}
+}
+
+// RunTradeoff sweeps the latency-emphasis parameter lambda across all four
+// systems of Fig. 10. lambda couples the reward weights coherently: the
+// global tier uses W1 = 2(1-lambda) (power) and W2 = 2*lambda (latency
+// proxy); the hierarchical local tier additionally sets its Eqn. (5) weight
+// w = 1-lambda. The fixed-timeout baselines have no local knob — exactly why
+// the paper calls their curves "not complete".
+func RunTradeoff(m int, sc Scale, lambdas []float64) (*TradeoffCurves, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("hierdrl: empty lambda sweep")
+	}
+	tr := sc.trace(0)
+	warm := sc.warmupTrace(0)
+	out := &TradeoffCurves{}
+
+	for _, lam := range lambdas {
+		if lam <= 0 || lam >= 1 {
+			return nil, fmt.Errorf("hierdrl: lambda %v outside (0,1)", lam)
+		}
+		apply := func(cfg *Config) {
+			cfg.Seed = sc.Seed
+			cfg.WarmupTrace = warm
+			cfg.Global.W1 = 2 * (1 - lam)
+			cfg.Global.W2 = 2 * lam
+		}
+
+		hier := Hierarchical(m)
+		apply(&hier)
+		hier.LocalRL.PowerWeight = 1 - lam
+		res, err := Run(hier, tr)
+		if err != nil {
+			return nil, fmt.Errorf("hierdrl: tradeoff hierarchical lambda=%v: %w", lam, err)
+		}
+		out.Hierarchical = append(out.Hierarchical, res.Tradeoff("hierarchical", lam))
+
+		for _, fx := range []struct {
+			timeout float64
+			dst     *[]TradeoffPoint
+		}{
+			{30, &out.Fixed30}, {60, &out.Fixed60}, {90, &out.Fixed90},
+		} {
+			cfg := FixedTimeoutBaseline(m, fx.timeout)
+			apply(&cfg)
+			res, err := Run(cfg, tr)
+			if err != nil {
+				return nil, fmt.Errorf("hierdrl: tradeoff fixed-%v lambda=%v: %w",
+					fx.timeout, lam, err)
+			}
+			*fx.dst = append(*fx.dst,
+				res.Tradeoff(fmt.Sprintf("fixed-%.0f", fx.timeout), lam))
+		}
+	}
+	return out, nil
+}
+
+// PredictorScore reports one predictor's accuracy on a held-out stream (the
+// X1 extension experiment motivating the LSTM choice of Sec. VI-A).
+type PredictorScore struct {
+	Name string
+	// RMSELog is the root-mean-squared error in log1p space (robust to the
+	// heavy-tailed gap distribution).
+	RMSELog float64
+	// MAE is the mean absolute error in seconds.
+	MAE float64
+	// Samples scored.
+	Samples int
+}
+
+// RunPredictorComparison trains each predictor online over one server's
+// arrival stream and scores one-step-ahead predictions on the second half of
+// the stream.
+func RunPredictorComparison(nArrivals int, seed int64) ([]PredictorScore, error) {
+	if nArrivals < 200 {
+		return nil, fmt.Errorf("hierdrl: need at least 200 arrivals, got %d", nArrivals)
+	}
+	// Per-server arrival stream: the cluster-level trace thinned by round
+	// robin across 30 servers, preserving diurnal/burst structure.
+	tr := SyntheticTrace(nArrivals*30, seed)
+	arrivals := make([]float64, 0, nArrivals)
+	for i := 0; i < tr.Len(); i += 30 {
+		arrivals = append(arrivals, tr.Jobs[i].Arrival)
+	}
+
+	rng := mat.NewRNG(seed)
+	lcfg := lstm.DefaultPredictorConfig()
+	lcfg.Lookback = 20
+	lcfg.TrainEvery = 4
+	lcfg.BatchSize = 6
+	preds := []struct {
+		name string
+		p    local.ArrivalPredictor
+	}{
+		{"lstm", lstm.NewPredictor(lcfg, rng.Split())},
+		{"ewma", local.NewEWMA(0.3)},
+		{"last-value", local.NewLastValue()},
+		{"window-mean", local.NewWindowMean(10)},
+	}
+
+	scores := make([]PredictorScore, len(preds))
+	half := len(arrivals) / 2
+	for i, pr := range preds {
+		var seLog, ae float64
+		n := 0
+		for k, t := range arrivals {
+			if k >= half && k+1 < len(arrivals) {
+				actual := arrivals[k+1] - t
+				pred := pr.p.Predict()
+				if !math.IsInf(pred, 0) {
+					dLog := math.Log1p(pred) - math.Log1p(actual)
+					seLog += dLog * dLog
+					ae += math.Abs(pred - actual)
+					n++
+				}
+			}
+			pr.p.ObserveArrival(t)
+		}
+		scores[i] = PredictorScore{
+			Name:    pr.name,
+			RMSELog: math.Sqrt(seLog / float64(n)),
+			MAE:     ae / float64(n),
+			Samples: n,
+		}
+	}
+	return scores, nil
+}
+
+// AblationResult reports the X2 experiment: offline Q-regression convergence
+// of the Fig. 6 architecture variants on identical replayed transitions.
+type AblationResult struct {
+	Variant   string
+	K         int
+	Params    int
+	FinalLoss float64
+}
+
+// RunAblation compares the full architecture against no-autoencoder and
+// no-weight-sharing variants (and different K) by training each for the same
+// number of minibatch steps on the same synthetic Q-regression task.
+func RunAblation(m, steps int, ks []int, seed int64) ([]AblationResult, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("hierdrl: steps must be positive")
+	}
+	var out []AblationResult
+	for _, k := range ks {
+		if k <= 0 || m%k != 0 {
+			return nil, fmt.Errorf("hierdrl: K=%d does not divide M=%d", k, m)
+		}
+		for _, variant := range []struct {
+			name         string
+			useAE, share bool
+		}{
+			{"full", true, true},
+			{"no-autoencoder", false, true},
+			{"no-weight-sharing", true, false},
+		} {
+			loss, params, err := ablationRun(m, k, steps, variant.useAE, variant.share, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationResult{
+				Variant:   variant.name,
+				K:         k,
+				Params:    params,
+				FinalLoss: loss,
+			})
+		}
+	}
+	return out, nil
+}
+
+func ablationRun(m, k, steps int, useAE, share bool, seed int64) (loss float64, params int, err error) {
+	cfg := global.DefaultConfig(m)
+	cfg.K = k
+	cfg.UseAutoencoder = useAE
+	cfg.ShareWeights = share
+	if err := cfg.Validate(m); err != nil {
+		return 0, 0, err
+	}
+	enc, err := global.NewEncoder(m, k, cfg.DurationNormSec)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := mat.NewRNG(seed)
+	net := global.NewQNetwork(enc, cfg, rng.Split())
+	opt := newAdamForAblation(cfg.LearningRate)
+
+	// Shared synthetic task across variants: target = the chosen server's
+	// negated CPU load minus the job's CPU demand — a proxy for "prefer
+	// lightly loaded servers for big jobs" that every variant can express.
+	gen := mat.NewRNG(seed + 7)
+	mkItem := func() global.TrainItem {
+		v := randomView(m, gen)
+		j := randomJob(gen)
+		s := enc.Encode(v, j)
+		a := gen.Intn(m)
+		target := -(v.Util[a][trace.CPU] + j.Req[trace.CPU])
+		return global.TrainItem{S: s, Action: a, Target: target}
+	}
+	var last float64
+	for i := 0; i < steps; i++ {
+		batch := make([]global.TrainItem, 16)
+		for b := range batch {
+			batch[b] = mkItem()
+		}
+		last = net.TrainBatch(batch, opt)
+	}
+	return last, net.NumParams(), nil
+}

@@ -1,0 +1,153 @@
+package hierdrl
+
+import (
+	"math"
+	"testing"
+)
+
+func tinyScale(m int) Scale {
+	return Scale{Jobs: 400, WarmupJobs: 150, Seed: 3, ClusterM: m}
+}
+
+func TestScaleValidate(t *testing.T) {
+	if err := FullScale(30).Validate(); err != nil {
+		t.Fatalf("FullScale invalid: %v", err)
+	}
+	if err := BenchScale(40).Validate(); err != nil {
+		t.Fatalf("BenchScale invalid: %v", err)
+	}
+	bad := []Scale{
+		{Jobs: 0, ClusterM: 30},
+		{Jobs: 10, WarmupJobs: -1, ClusterM: 30},
+		{Jobs: 10, ClusterM: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad scale %d accepted", i)
+		}
+	}
+}
+
+func TestRunComparisonTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three end-to-end runs; skip with -short")
+	}
+	cmp, err := RunComparison(4, tinyScale(4), 100)
+	if err != nil {
+		t.Fatalf("RunComparison: %v", err)
+	}
+	rows := cmp.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows %d want 3", len(rows))
+	}
+	names := []string{"round-robin", "drl-only", "hierarchical"}
+	for i, s := range rows {
+		if s.Policy != names[i] {
+			t.Fatalf("row %d policy %q want %q", i, s.Policy, names[i])
+		}
+		if s.Jobs != 400 {
+			t.Fatalf("%s completed %d jobs want 400", s.Policy, s.Jobs)
+		}
+		if s.EnergykWh <= 0 {
+			t.Fatalf("%s energy %v", s.Policy, s.EnergykWh)
+		}
+	}
+	if len(cmp.RoundRobin.Checkpoints) == 0 {
+		t.Fatal("missing checkpoints")
+	}
+}
+
+func TestRunTradeoffTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many end-to-end runs; skip with -short")
+	}
+	sc := tinyScale(4)
+	curves, err := RunTradeoff(4, sc, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatalf("RunTradeoff: %v", err)
+	}
+	for _, pts := range curves.All() {
+		if len(pts) != 2 {
+			t.Fatalf("curve has %d points want 2", len(pts))
+		}
+		for _, p := range pts {
+			if p.AvgLatencySec <= 0 || p.AvgEnergyJPerJob <= 0 {
+				t.Fatalf("degenerate point %+v", p)
+			}
+		}
+	}
+	// Validation paths.
+	if _, err := RunTradeoff(4, sc, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := RunTradeoff(4, sc, []float64{1.5}); err == nil {
+		t.Fatal("lambda out of range accepted")
+	}
+}
+
+func TestRunPredictorComparisonTiny(t *testing.T) {
+	scores, err := RunPredictorComparison(300, 1)
+	if err != nil {
+		t.Fatalf("RunPredictorComparison: %v", err)
+	}
+	if len(scores) != 4 {
+		t.Fatalf("scores %d want 4", len(scores))
+	}
+	for _, s := range scores {
+		if s.Samples == 0 {
+			t.Fatalf("%s scored no samples", s.Name)
+		}
+		if math.IsNaN(s.RMSELog) || s.RMSELog <= 0 {
+			t.Fatalf("%s RMSE %v", s.Name, s.RMSELog)
+		}
+	}
+	if _, err := RunPredictorComparison(10, 1); err == nil {
+		t.Fatal("tiny stream accepted")
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	results, err := RunAblation(6, 30, []int{2, 3}, 1)
+	if err != nil {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	if len(results) != 6 { // 2 K values x 3 variants
+		t.Fatalf("results %d want 6", len(results))
+	}
+	byKey := map[string]AblationResult{}
+	for _, r := range results {
+		if r.FinalLoss < 0 || math.IsNaN(r.FinalLoss) {
+			t.Fatalf("%s K=%d loss %v", r.Variant, r.K, r.FinalLoss)
+		}
+		if r.Params <= 0 {
+			t.Fatalf("%s K=%d params %d", r.Variant, r.K, r.Params)
+		}
+		byKey[r.Variant+string(rune('0'+r.K))] = r
+	}
+	// Weight sharing claim 2 of Sec. V-A: fewer parameters.
+	if byKey["full2"].Params >= byKey["no-weight-sharing2"].Params {
+		t.Fatal("weight sharing did not reduce parameter count")
+	}
+	// Error paths.
+	if _, err := RunAblation(6, 0, []int{2}, 1); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := RunAblation(6, 10, []int{4}, 1); err == nil {
+		t.Fatal("non-divisor K accepted")
+	}
+}
+
+func TestParetoAndHypervolumeExports(t *testing.T) {
+	pts := []TradeoffPoint{
+		{Label: "a", AvgLatencySec: 1, AvgEnergyJPerJob: 3},
+		{Label: "b", AvgLatencySec: 2, AvgEnergyJPerJob: 1},
+		{Label: "c", AvgLatencySec: 2, AvgEnergyJPerJob: 5},
+	}
+	front := ParetoFrontOf(pts)
+	if len(front) != 2 {
+		t.Fatalf("front %d want 2", len(front))
+	}
+	if hv := HypervolumeOf(pts, 10, 10); hv <= 0 {
+		t.Fatalf("hypervolume %v", hv)
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/sim"
+)
+
+// Config parameterizes a homogeneous cluster of M servers.
+type Config struct {
+	// M is the number of physical servers (paper evaluates 30 and 40).
+	M int
+	// Server is the per-server configuration.
+	Server ServerConfig
+	// HotSpotThreshold is the utilization above which the reliability
+	// objective starts penalizing a server (hot-spot avoidance, Sec. V-A).
+	HotSpotThreshold float64
+}
+
+// DefaultConfig returns the paper's cluster calibration with M servers.
+func DefaultConfig(m int) Config {
+	return Config{M: m, Server: DefaultServerConfig(), HotSpotThreshold: 0.8}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.M <= 0 {
+		return fmt.Errorf("cluster: M must be positive, got %d", c.M)
+	}
+	if c.HotSpotThreshold <= 0 || c.HotSpotThreshold >= 1 {
+		return fmt.Errorf("cluster: HotSpotThreshold must be in (0,1), got %v", c.HotSpotThreshold)
+	}
+	return c.Server.Validate()
+}
+
+// Cluster aggregates M servers, maintains incremental totals (power draw,
+// jobs in system), and exposes the state snapshot the allocation tiers
+// consume.
+type Cluster struct {
+	cfg     Config
+	sm      *sim.Simulator
+	servers []*Server
+
+	totalPower   float64
+	jobsInSystem int
+	prevPower    []float64
+	prevJobs     []int
+
+	// OnChange fires after any server changes power draw or occupancy, with
+	// aggregates already updated. The global DRL tier uses it to integrate
+	// its Eqn. (4) reward exactly.
+	OnChange func(t sim.Time)
+	// OnJobDone fires when any job completes.
+	OnJobDone func(t sim.Time, j *Job)
+
+	submitted int64
+	completed int64
+}
+
+// New builds a cluster. dpmFactory is invoked once per server index to
+// produce that server's local power-management policy (the paper's
+// distributed local tier: one independent manager per machine).
+func New(cfg Config, sm *sim.Simulator, dpmFactory func(serverID int) DPMPolicy) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dpmFactory == nil {
+		return nil, fmt.Errorf("cluster: nil DPM factory")
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		sm:        sm,
+		servers:   make([]*Server, cfg.M),
+		prevPower: make([]float64, cfg.M),
+		prevJobs:  make([]int, cfg.M),
+	}
+	for i := 0; i < cfg.M; i++ {
+		dpm := dpmFactory(i)
+		s, err := NewServer(i, sm, cfg.Server, dpm)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		s.SetHooks(c.serverUpdated, c.jobDone)
+		c.servers[i] = s
+		c.prevPower[i] = s.Power()
+		c.totalPower += s.Power()
+	}
+	return c, nil
+}
+
+// M returns the number of servers.
+func (c *Cluster) M() int { return c.cfg.M }
+
+// Server returns server i.
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// Sim returns the simulator driving this cluster.
+func (c *Cluster) Sim() *sim.Simulator { return c.sm }
+
+// Submit dispatches job j to the given server at the current time.
+func (c *Cluster) Submit(j *Job, server int) {
+	if server < 0 || server >= len(c.servers) {
+		panic(fmt.Sprintf("cluster: Submit to invalid server %d of %d", server, len(c.servers)))
+	}
+	c.submitted++
+	c.servers[server].Submit(j)
+}
+
+func (c *Cluster) serverUpdated(t sim.Time, s *Server) {
+	i := s.ID()
+	c.totalPower += s.Power() - c.prevPower[i]
+	c.jobsInSystem += s.JobsInSystem() - c.prevJobs[i]
+	c.prevPower[i] = s.Power()
+	c.prevJobs[i] = s.JobsInSystem()
+	if c.OnChange != nil {
+		c.OnChange(t)
+	}
+}
+
+func (c *Cluster) jobDone(t sim.Time, j *Job) {
+	c.completed++
+	if c.OnJobDone != nil {
+		c.OnJobDone(t, j)
+	}
+}
+
+// TotalPower returns the cluster's instantaneous draw in watts (maintained
+// incrementally; see InvariantCheck for the O(M) recomputation).
+func (c *Cluster) TotalPower() float64 { return c.totalPower }
+
+// JobsInSystem returns the number of jobs queued or running anywhere.
+func (c *Cluster) JobsInSystem() int { return c.jobsInSystem }
+
+// Submitted returns the number of jobs dispatched so far.
+func (c *Cluster) Submitted() int64 { return c.submitted }
+
+// Completed returns the number of jobs finished so far.
+func (c *Cluster) Completed() int64 { return c.completed }
+
+// TotalEnergyJoules integrates every server's energy through time t.
+func (c *Cluster) TotalEnergyJoules(t sim.Time) float64 {
+	var e float64
+	for _, s := range c.servers {
+		e += s.EnergyJoules(t)
+	}
+	return e
+}
+
+// ReliabilityObj returns the Reli(t) term of the global reward (Eqn. 4):
+// a hot-spot penalty sum_m sum_p max(0, u_mp - theta)^2 / (1-theta)^2 over
+// the *committed* utilization (running plus queued demand — a backlogged
+// server is the hottest spot there is), plus a co-location pressure term:
+// the job count on the most loaded server (VM stacking on one failure
+// domain). The paper motivates load balancing and anti-co-location but gives
+// no formula; DESIGN.md records this concretization. Both terms increase
+// when load piles onto individual machines, so the penalty is monotone in
+// exactly the placements reliability engineering forbids.
+func (c *Cluster) ReliabilityObj() float64 {
+	theta := c.cfg.HotSpotThreshold
+	denom := (1 - theta) * (1 - theta)
+	var hot float64
+	maxJobs := 0
+	for _, s := range c.servers {
+		u := s.CommittedUtilization()
+		for _, v := range u {
+			if over := v - theta; over > 0 {
+				hot += over * over / denom
+			}
+		}
+		if n := s.JobsInSystem(); n > maxJobs {
+			maxJobs = n
+		}
+	}
+	return hot + float64(maxJobs)
+}
+
+// View is an immutable snapshot of cluster state handed to allocators.
+type View struct {
+	Now      sim.Time
+	M        int
+	Util     []Resources  // running utilization per server
+	Pending  []Resources  // queued demand per server
+	QueueLen []int        // waiting jobs per server
+	InSystem []int        // waiting + running per server
+	State    []PowerState // power mode per server
+}
+
+// Snapshot captures the current state of every server.
+func (c *Cluster) Snapshot() *View {
+	v := &View{
+		Now:      c.sm.Now(),
+		M:        len(c.servers),
+		Util:     make([]Resources, len(c.servers)),
+		Pending:  make([]Resources, len(c.servers)),
+		QueueLen: make([]int, len(c.servers)),
+		InSystem: make([]int, len(c.servers)),
+		State:    make([]PowerState, len(c.servers)),
+	}
+	for i, s := range c.servers {
+		v.Util[i] = s.Utilization()
+		v.Pending[i] = s.PendingDemand()
+		v.QueueLen[i] = s.QueueLen()
+		v.InSystem[i] = s.JobsInSystem()
+		v.State[i] = s.State()
+	}
+	return v
+}
+
+// InvariantCheck recomputes the aggregates from scratch and panics if the
+// incremental bookkeeping drifted. Tests call it liberally.
+func (c *Cluster) InvariantCheck() {
+	var power float64
+	jobs := 0
+	for _, s := range c.servers {
+		power += s.Power()
+		jobs += s.JobsInSystem()
+	}
+	if math.Abs(power-c.totalPower) > 1e-6 {
+		panic(fmt.Sprintf("cluster: power drift: incremental %v recomputed %v",
+			c.totalPower, power))
+	}
+	if jobs != c.jobsInSystem {
+		panic(fmt.Sprintf("cluster: jobs drift: incremental %d recomputed %d",
+			c.jobsInSystem, jobs))
+	}
+}

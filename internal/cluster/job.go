@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hierdrl/internal/sim"
+	"hierdrl/internal/trace"
+)
+
+// Job is a VM/job request flowing through the cluster. Latency is defined as
+// Finished - Arrival (queueing plus execution), per Sec. III of the paper.
+type Job struct {
+	// ID is the trace-order identifier.
+	ID int
+	// Arrival is the time the job entered the cluster (the global tier's
+	// decision epoch).
+	Arrival sim.Time
+	// Duration is the execution time once resources are granted.
+	Duration float64
+	// Req is the job's resource demand.
+	Req Resources
+
+	// Server is the index the global tier dispatched the job to (-1 before
+	// dispatch).
+	Server int
+	// Started is when the server granted resources (valid once started).
+	Started sim.Time
+	// Finished is when the job completed (valid once finished).
+	Finished sim.Time
+
+	started  bool
+	finished bool
+}
+
+// NewJob builds a cluster job from a trace record.
+func NewJob(tj trace.Job) *Job {
+	return &Job{
+		ID:       tj.ID,
+		Arrival:  sim.Time(tj.Arrival),
+		Duration: tj.Duration,
+		Req:      FromTraceReq(tj.Req),
+		Server:   -1,
+	}
+}
+
+// StartedAt reports whether and when the job started executing.
+func (j *Job) StartedAt() (sim.Time, bool) { return j.Started, j.started }
+
+// FinishedAt reports whether and when the job completed.
+func (j *Job) FinishedAt() (sim.Time, bool) { return j.Finished, j.finished }
+
+// Latency returns Finished - Arrival. It panics for unfinished jobs.
+func (j *Job) Latency() float64 {
+	if !j.finished {
+		panic(fmt.Sprintf("cluster: Latency of unfinished job %d", j.ID))
+	}
+	return float64(j.Finished - j.Arrival)
+}
+
+// WaitTime returns Started - Arrival (queueing plus any wake delay). It
+// panics for jobs that have not started.
+func (j *Job) WaitTime() float64 {
+	if !j.started {
+		panic(fmt.Sprintf("cluster: WaitTime of unstarted job %d", j.ID))
+	}
+	return float64(j.Started - j.Arrival)
+}

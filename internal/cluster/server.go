@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/sim"
+	"hierdrl/internal/trace"
+)
+
+// PowerState is a server's power mode.
+type PowerState int
+
+// Power modes. Idle is represented as StateActive with zero running jobs;
+// the DPM layer observes that condition through the decision-epoch hooks.
+const (
+	StateSleep PowerState = iota + 1
+	StateWaking
+	StateActive
+	StateShuttingDown
+)
+
+// String implements fmt.Stringer.
+func (s PowerState) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateWaking:
+		return "waking"
+	case StateActive:
+		return "active"
+	case StateShuttingDown:
+		return "shutting-down"
+	default:
+		return fmt.Sprintf("PowerState(%d)", int(s))
+	}
+}
+
+// DPMPolicy is the local tier's interface to one server. Implementations
+// live in internal/local (RL-based timeout manager, fixed timeout, always-on,
+// ad-hoc immediate sleep).
+//
+// The three methods map to the paper's decision-epoch taxonomy (Sec. VI-B):
+// OnIdle is case (1) — the server just became idle with an empty queue and
+// the policy returns the sleep timeout in seconds (0 = sleep immediately,
+// +Inf = stay on). OnArrival covers cases (2) and (3) — a job arrived, and
+// the pre-transition power state tells the policy which case applies.
+// Observe streams reward-rate changes (power draw and jobs in system) so the
+// policy can integrate its Eqn. (5) reward exactly.
+type DPMPolicy interface {
+	OnIdle(t sim.Time, s *Server) float64
+	OnArrival(t sim.Time, s *Server, stateBefore PowerState)
+	Observe(t sim.Time, powerW float64, jobsInSystem int)
+}
+
+// ServerConfig parameterizes one server.
+type ServerConfig struct {
+	// Capacity is the resource capacity (normally UnitCapacity).
+	Capacity Resources
+	// Power is the power model.
+	Power PowerModel
+	// TonSeconds is the sleep->active transition time (paper: 30 s).
+	TonSeconds float64
+	// ToffSeconds is the active->sleep transition time (paper: 30 s).
+	ToffSeconds float64
+	// InitialState is the power mode at t=0 (default StateSleep).
+	InitialState PowerState
+}
+
+// DefaultServerConfig returns the paper's calibration.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Capacity:     UnitCapacity(),
+		Power:        DefaultPowerModel(),
+		TonSeconds:   30,
+		ToffSeconds:  30,
+		InitialState: StateSleep,
+	}
+}
+
+// Validate checks the configuration.
+func (c ServerConfig) Validate() error {
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.TonSeconds < 0 || c.ToffSeconds < 0 {
+		return fmt.Errorf("cluster: negative transition times Ton=%v Toff=%v",
+			c.TonSeconds, c.ToffSeconds)
+	}
+	for p, v := range c.Capacity {
+		if v <= 0 {
+			return fmt.Errorf("cluster: capacity resource %d must be positive, got %v", p, v)
+		}
+	}
+	switch c.InitialState {
+	case StateSleep, StateActive, 0:
+	default:
+		return fmt.Errorf("cluster: initial state must be sleep or active, got %v", c.InitialState)
+	}
+	return nil
+}
+
+// Server simulates one physical machine: FCFS queue with head-of-line
+// blocking, resource accounting, the power-mode state machine of Fig. 4, and
+// exact energy integration.
+type Server struct {
+	id  int
+	sm  *sim.Simulator
+	cfg ServerConfig
+	dpm DPMPolicy
+
+	state   PowerState
+	used    Resources
+	queue   []*Job
+	pending Resources // cached sum of queued jobs' demands
+	running int
+
+	timeout *sim.Timer
+
+	// Energy accounting.
+	lastT     sim.Time
+	lastPower float64
+	energyJ   float64
+
+	// Statistics.
+	wakeups   int64
+	shutdowns int64
+	completed int64
+
+	// onUpdate fires after every change to the server's power draw or
+	// jobs-in-system count, with the server already in its new state. The
+	// cluster uses it to maintain aggregates incrementally.
+	onUpdate func(t sim.Time, s *Server)
+	// onJobDone fires when a job completes.
+	onJobDone func(t sim.Time, j *Job)
+}
+
+// NewServer builds a server attached to the given simulator. dpm must not be
+// nil (use local.AlwaysOn for an unmanaged server).
+func NewServer(id int, sm *sim.Simulator, cfg ServerConfig, dpm DPMPolicy) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dpm == nil {
+		return nil, fmt.Errorf("cluster: server %d: nil DPM policy", id)
+	}
+	st := cfg.InitialState
+	if st == 0 {
+		st = StateSleep
+	}
+	s := &Server{
+		id:    id,
+		sm:    sm,
+		cfg:   cfg,
+		dpm:   dpm,
+		state: st,
+		lastT: sm.Now(),
+	}
+	s.lastPower = s.currentPower()
+	return s, nil
+}
+
+// ID returns the server index.
+func (s *Server) ID() int { return s.id }
+
+// State returns the current power mode.
+func (s *Server) State() PowerState { return s.state }
+
+// QueueLen returns the number of jobs waiting (not yet granted resources).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Running returns the number of executing jobs.
+func (s *Server) Running() int { return s.running }
+
+// JobsInSystem returns waiting plus executing jobs (the JQ(t) signal feeding
+// Eqn. (5), via Little's law a proxy for per-job latency).
+func (s *Server) JobsInSystem() int { return len(s.queue) + s.running }
+
+// Used returns the resources currently granted to running jobs.
+func (s *Server) Used() Resources { return s.used }
+
+// Utilization returns the fractional utilization per resource dimension.
+func (s *Server) Utilization() Resources {
+	var u Resources
+	for p := range u {
+		u[p] = s.used[p] / s.cfg.Capacity[p]
+	}
+	return u
+}
+
+// CPUUtil returns the CPU utilization fraction driving the power model.
+func (s *Server) CPUUtil() float64 {
+	return s.used[trace.CPU] / s.cfg.Capacity[trace.CPU]
+}
+
+// PendingDemand returns the total resource demand of queued jobs
+// (maintained incrementally).
+func (s *Server) PendingDemand() Resources { return s.pending }
+
+// CommittedUtilization returns running plus queued demand per resource,
+// normalized by capacity — the backlog-aware load signal used by the
+// reliability objective and the DRL state.
+func (s *Server) CommittedUtilization() Resources {
+	var u Resources
+	for p := range u {
+		u[p] = (s.used[p] + s.pending[p]) / s.cfg.Capacity[p]
+	}
+	return u
+}
+
+// Power returns the instantaneous power draw in watts.
+func (s *Server) Power() float64 { return s.lastPower }
+
+// EnergyJoules returns the energy integrated through time t.
+func (s *Server) EnergyJoules(t sim.Time) float64 {
+	if t < s.lastT {
+		panic(fmt.Sprintf("cluster: EnergyJoules time %v before last update %v", t, s.lastT))
+	}
+	return s.energyJ + s.lastPower*float64(t-s.lastT)
+}
+
+// Wakeups returns how many sleep->active transitions have begun.
+func (s *Server) Wakeups() int64 { return s.wakeups }
+
+// Shutdowns returns how many active->sleep transitions have begun.
+func (s *Server) Shutdowns() int64 { return s.shutdowns }
+
+// Completed returns the number of finished jobs.
+func (s *Server) Completed() int64 { return s.completed }
+
+// SetHooks installs the cluster-level callbacks.
+func (s *Server) SetHooks(onUpdate func(sim.Time, *Server), onJobDone func(sim.Time, *Job)) {
+	s.onUpdate = onUpdate
+	s.onJobDone = onJobDone
+}
+
+func (s *Server) currentPower() float64 {
+	switch s.state {
+	case StateSleep:
+		return s.cfg.Power.Sleep()
+	case StateWaking, StateShuttingDown:
+		return s.cfg.Power.Transition()
+	case StateActive:
+		return s.cfg.Power.Active(s.CPUUtil())
+	default:
+		panic(fmt.Sprintf("cluster: server %d in invalid state %v", s.id, s.state))
+	}
+}
+
+// sync integrates energy up to now, recomputes power, and fires the hooks.
+// Call after every state mutation.
+func (s *Server) sync() {
+	now := s.sm.Now()
+	s.energyJ += s.lastPower * float64(now-s.lastT)
+	s.lastT = now
+	s.lastPower = s.currentPower()
+	if s.onUpdate != nil {
+		s.onUpdate(now, s)
+	}
+	s.dpm.Observe(now, s.lastPower, s.JobsInSystem())
+}
+
+// Submit hands a job to this server at the current simulation time. It
+// panics if the job's demand exceeds the server's total capacity — such a
+// job would block the FCFS queue forever, which is always a modeling error.
+func (s *Server) Submit(j *Job) {
+	if !j.Req.FitsIn(s.cfg.Capacity) {
+		panic(fmt.Sprintf("cluster: job %d demand %v exceeds server %d capacity %v",
+			j.ID, j.Req, s.id, s.cfg.Capacity))
+	}
+	now := s.sm.Now()
+	stateBefore := s.state
+	j.Server = s.id
+
+	s.queue = append(s.queue, j)
+	s.pending = s.pending.Add(j.Req)
+	// Cancel a pending idle timeout: the server has work again.
+	if s.timeout.Cancel() {
+		s.timeout = nil
+	}
+
+	switch s.state {
+	case StateSleep:
+		s.beginWake()
+	case StateActive:
+		s.tryStart()
+	case StateWaking, StateShuttingDown:
+		// Job waits; the in-flight transition completes first (Fig. 4(a)).
+	}
+	s.sync()
+	// The DPM hears about the arrival after the server reacted, with the
+	// pre-transition state so it can classify the epoch (case 2 vs 3).
+	s.dpm.OnArrival(now, s, stateBefore)
+}
+
+func (s *Server) beginWake() {
+	s.state = StateWaking
+	s.wakeups++
+	s.sm.ScheduleAfter(s.cfg.TonSeconds, s.onWakeComplete)
+}
+
+func (s *Server) onWakeComplete() {
+	if s.state != StateWaking {
+		panic(fmt.Sprintf("cluster: server %d wake completion in state %v", s.id, s.state))
+	}
+	s.state = StateActive
+	s.tryStart()
+	s.sync()
+	if s.running == 0 && len(s.queue) == 0 {
+		// Defensive: a wake with nothing to do still constitutes an idle
+		// decision epoch.
+		s.enterIdleEpoch()
+	}
+}
+
+// tryStart grants resources to queued jobs in strict FCFS order, stopping at
+// the first job that does not fit (head-of-line blocking, Sec. III).
+func (s *Server) tryStart() {
+	now := s.sm.Now()
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		free := s.cfg.Capacity.Sub(s.used)
+		if !head.Req.FitsIn(free) {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.pending = s.pending.Sub(head.Req)
+		s.used = s.used.Add(head.Req)
+		s.running++
+		head.Started = now
+		head.started = true
+		j := head
+		s.sm.ScheduleAfter(j.Duration, func() { s.onJobComplete(j) })
+	}
+}
+
+func (s *Server) onJobComplete(j *Job) {
+	now := s.sm.Now()
+	s.used = s.used.Sub(j.Req)
+	if !s.used.NonNegative() {
+		panic(fmt.Sprintf("cluster: server %d negative utilization after job %d", s.id, j.ID))
+	}
+	s.running--
+	s.completed++
+	j.Finished = now
+	j.finished = true
+
+	s.tryStart()
+	s.sync()
+	if s.onJobDone != nil {
+		s.onJobDone(now, j)
+	}
+	if s.state == StateActive && s.running == 0 && len(s.queue) == 0 {
+		s.enterIdleEpoch()
+	}
+}
+
+// enterIdleEpoch is decision-epoch case (1): ask the DPM for a timeout.
+func (s *Server) enterIdleEpoch() {
+	timeout := s.dpm.OnIdle(s.sm.Now(), s)
+	switch {
+	case timeout < 0 || math.IsNaN(timeout):
+		panic(fmt.Sprintf("cluster: server %d DPM returned invalid timeout %v", s.id, timeout))
+	case timeout == 0:
+		s.beginShutdown()
+		s.sync()
+	case math.IsInf(timeout, 1):
+		// Stay active indefinitely.
+	default:
+		s.timeout = s.sm.ScheduleAfter(timeout, s.onTimeoutExpire)
+	}
+}
+
+func (s *Server) onTimeoutExpire() {
+	s.timeout = nil
+	if s.state != StateActive || s.running != 0 || len(s.queue) != 0 {
+		panic(fmt.Sprintf("cluster: server %d timeout expired in state %v run=%d q=%d",
+			s.id, s.state, s.running, len(s.queue)))
+	}
+	s.beginShutdown()
+	s.sync()
+}
+
+func (s *Server) beginShutdown() {
+	s.state = StateShuttingDown
+	s.shutdowns++
+	s.sm.ScheduleAfter(s.cfg.ToffSeconds, s.onShutdownComplete)
+}
+
+func (s *Server) onShutdownComplete() {
+	if s.state != StateShuttingDown {
+		panic(fmt.Sprintf("cluster: server %d shutdown completion in state %v", s.id, s.state))
+	}
+	s.state = StateSleep
+	s.sync()
+	if len(s.queue) > 0 {
+		// A job arrived mid-shutdown (Fig. 4(a)): wake right back up.
+		s.beginWake()
+		s.sync()
+	}
+}

@@ -1,0 +1,300 @@
+package global
+
+import (
+	"fmt"
+
+	"hierdrl/internal/mat"
+	"hierdrl/internal/nn"
+)
+
+// QNetwork is the Fig. 6 deep Q-network. For each group k, the Sub-Q head
+// consumes the group's own raw state g_k, the job state s_j, and the
+// *compressed* representations of every other group (from the
+// autoencoders), and emits one Q value per server in G_k. The dimension
+// asymmetry — raw own-group state vs compressed remote-group state — is
+// exactly the paper's representation-learning trick; weight sharing across
+// groups makes every sample train every head.
+//
+// Two ablation switches mirror Sec. V-A's design claims: UseAutoencoder=false
+// feeds raw remote state to the heads; ShareWeights=false trains K
+// independent autoencoders and heads.
+type QNetwork struct {
+	enc   *Encoder
+	cfg   Config
+	aes   []*nn.Autoencoder // len 1 when shared, K otherwise
+	subs  []*nn.MLP         // len 1 when shared, K otherwise
+	codeD int               // per-remote-group feature width fed to Sub-Q
+}
+
+// NewQNetwork builds the network for the given encoder and config.
+func NewQNetwork(enc *Encoder, cfg Config, rng *mat.RNG) *QNetwork {
+	n := &QNetwork{enc: enc, cfg: cfg}
+	codeDim := cfg.AEHidden[len(cfg.AEHidden)-1]
+	if cfg.UseAutoencoder {
+		n.codeD = codeDim
+	} else {
+		n.codeD = enc.GroupDim()
+	}
+	inDim := enc.GroupDim() + enc.JobDim() + (enc.K()-1)*n.codeD
+	// Dueling head (Wang et al., cited by the paper for gradient clipping):
+	// the first output is the group's state value V, the remaining
+	// GroupSize outputs are advantages A_o, combined as
+	// Q_o = V + A_o - mean(A). Cloud placement rewards are dominated by
+	// global terms (total power, total jobs) that are identical across
+	// actions; the decomposition keeps that common mass in V so the
+	// network's capacity goes to the per-action differences that actually
+	// drive the argmax.
+	sizes := []int{inDim, cfg.SubQHidden, enc.GroupSize() + 1}
+	acts := []nn.Activation{nn.ELU{}, nn.Identity{}}
+
+	count := 1
+	if !cfg.ShareWeights {
+		count = enc.K()
+	}
+	for i := 0; i < count; i++ {
+		if cfg.UseAutoencoder {
+			n.aes = append(n.aes, nn.NewAutoencoder(enc.GroupDim(), cfg.AEHidden, rng))
+		}
+		n.subs = append(n.subs, nn.NewMLP(sizes, acts, rng))
+	}
+	return n
+}
+
+func (n *QNetwork) aeFor(k int) *nn.Autoencoder {
+	if n.cfg.ShareWeights {
+		return n.aes[0]
+	}
+	return n.aes[k]
+}
+
+func (n *QNetwork) subFor(k int) *nn.MLP {
+	if n.cfg.ShareWeights {
+		return n.subs[0]
+	}
+	return n.subs[k]
+}
+
+// remoteFeature returns the representation of group k' as seen by another
+// group's head: the autoencoder code, or the raw state in the ablation.
+func (n *QNetwork) remoteFeature(k int, g mat.Vec) mat.Vec {
+	if !n.cfg.UseAutoencoder {
+		return g
+	}
+	return n.aeFor(k).EncodeInfer(g)
+}
+
+// headInput assembles the Sub-Q input for group k given precomputed remote
+// features.
+func (n *QNetwork) headInput(k int, s State, remote []mat.Vec) mat.Vec {
+	parts := make([]mat.Vec, 0, 1+1+n.enc.K()-1)
+	parts = append(parts, s.Groups[k], s.Job)
+	for kp := 0; kp < n.enc.K(); kp++ {
+		if kp != k {
+			parts = append(parts, remote[kp])
+		}
+	}
+	return mat.Concat(parts...)
+}
+
+// duel converts a raw head output [V, A_1..A_G] into Q values
+// Q_o = V + A_o - mean(A).
+func duel(raw mat.Vec) mat.Vec {
+	v := raw[0]
+	adv := raw[1:]
+	meanA := mat.Vec(adv).Mean()
+	q := mat.NewVec(len(adv))
+	for o, a := range adv {
+		q[o] = v + a - meanA
+	}
+	return q
+}
+
+// QValues performs inference for every action: a vector of M Q-value
+// estimates, one per server.
+func (n *QNetwork) QValues(s State) mat.Vec {
+	remote := make([]mat.Vec, n.enc.K())
+	for k := 0; k < n.enc.K(); k++ {
+		remote[k] = n.remoteFeature(k, s.Groups[k])
+	}
+	out := mat.NewVec(n.enc.M())
+	for k := 0; k < n.enc.K(); k++ {
+		q := duel(n.subFor(k).Infer(n.headInput(k, s, remote)))
+		copy(out[k*n.enc.GroupSize():(k+1)*n.enc.GroupSize()], q)
+	}
+	return out
+}
+
+// Best returns the greedy action and its value.
+func (n *QNetwork) Best(s State) (action int, value float64) {
+	q := n.QValues(s)
+	return q.Max()
+}
+
+// Q returns the value estimate of one (state, action) pair.
+func (n *QNetwork) Q(s State, action int) float64 {
+	k := n.enc.GroupOf(action)
+	remote := make([]mat.Vec, n.enc.K())
+	for kp := 0; kp < n.enc.K(); kp++ {
+		if kp != k {
+			remote[kp] = n.remoteFeature(kp, s.Groups[kp])
+		}
+	}
+	q := duel(n.subFor(k).Infer(n.headInput(k, s, remote)))
+	return q[n.enc.OffsetOf(action)]
+}
+
+// TrainItem is one supervised pair for Q regression.
+type TrainItem struct {
+	S      State
+	Action int
+	Target float64
+}
+
+// TrainBatch runs one optimizer step on a minibatch, backpropagating through
+// the chosen head and (when autoencoders are enabled) through the encoders
+// of the remote groups. It returns the mean squared error.
+func (n *QNetwork) TrainBatch(batch []TrainItem, opt nn.Optimizer) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	params := n.Params()
+	nn.ZeroGrads(params)
+	scale := 1 / float64(len(batch))
+	var total float64
+	for _, item := range batch {
+		total += n.accumulate(item, scale)
+	}
+	if n.cfg.ClipNorm > 0 {
+		nn.ClipGrads(params, n.cfg.ClipNorm)
+	}
+	opt.Step(params)
+	return total / float64(len(batch))
+}
+
+// accumulate adds one item's gradient contribution (scaled) and returns its
+// squared error.
+func (n *QNetwork) accumulate(item TrainItem, scale float64) float64 {
+	k := n.enc.GroupOf(item.Action)
+	o := n.enc.OffsetOf(item.Action)
+
+	// Forward remote features with backprop capture, indexed by group.
+	remote := make([]mat.Vec, n.enc.K())
+	backs := make([]func(mat.Vec) mat.Vec, n.enc.K())
+	for kp := 0; kp < n.enc.K(); kp++ {
+		if kp == k {
+			continue
+		}
+		if n.cfg.UseAutoencoder {
+			remote[kp], backs[kp] = n.aeFor(kp).Encode(item.S.Groups[kp])
+		} else {
+			remote[kp] = item.S.Groups[kp]
+		}
+	}
+	in := n.headInput(k, item.S, remote)
+	raw, subBack := n.subFor(k).Forward(in)
+	q := duel(raw)
+
+	err := q[o] - item.Target
+	g := 2 * err * scale
+	// Backprop through the dueling combination: dQ_o/dV = 1,
+	// dQ_o/dA_{o'} = delta_{o o'} - 1/G.
+	dOut := mat.NewVec(len(raw))
+	dOut[0] = g
+	gs := float64(n.enc.GroupSize())
+	for op := 0; op < n.enc.GroupSize(); op++ {
+		if op == o {
+			dOut[1+op] = g * (1 - 1/gs)
+		} else {
+			dOut[1+op] = g * (-1 / gs)
+		}
+	}
+	dIn := subBack(dOut)
+
+	// Route gradients into the remote encoders. Input layout:
+	// [g_k | job | remote features in ascending kp order].
+	if n.cfg.UseAutoencoder {
+		base := n.enc.GroupDim() + n.enc.JobDim()
+		idx := 0
+		for kp := 0; kp < n.enc.K(); kp++ {
+			if kp == k {
+				continue
+			}
+			seg := mat.Vec(dIn[base+idx*n.codeD : base+(idx+1)*n.codeD])
+			backs[kp](seg)
+			idx++
+		}
+	}
+	return err * err
+}
+
+// PretrainAutoencoder trains the autoencoder(s) on group-state samples with
+// the reconstruction objective (the offline representation-learning phase).
+// It returns the final epoch's mean loss; it is a no-op (returning 0) when
+// the autoencoder path is disabled.
+func (n *QNetwork) PretrainAutoencoder(samples []mat.Vec, epochs, batchSize int, lr float64, rng *mat.RNG) float64 {
+	if !n.cfg.UseAutoencoder || len(samples) == 0 {
+		return 0
+	}
+	if batchSize <= 0 || epochs <= 0 || lr <= 0 {
+		panic(fmt.Sprintf("global: bad AE pretrain params epochs=%d batch=%d lr=%v",
+			epochs, batchSize, lr))
+	}
+	var last float64
+	for _, ae := range n.aes {
+		opt := nn.NewAdam(lr)
+		for e := 0; e < epochs; e++ {
+			batch := make([]mat.Vec, 0, batchSize)
+			for b := 0; b < batchSize; b++ {
+				batch = append(batch, samples[rng.Intn(len(samples))])
+			}
+			last = ae.TrainBatch(batch, opt, n.cfg.ClipNorm)
+		}
+	}
+	return last
+}
+
+// Params enumerates the trainable parameters of the online Q path (encoder
+// weights plus Sub-Q heads; decoder weights train only in
+// PretrainAutoencoder).
+func (n *QNetwork) Params() []nn.Param {
+	var ps []nn.Param
+	for i, ae := range n.aes {
+		for _, p := range ae.Enc.Params() {
+			p.Name = fmt.Sprintf("ae%d.%s", i, p.Name)
+			ps = append(ps, p)
+		}
+	}
+	for i, sub := range n.subs {
+		for _, p := range sub.Params() {
+			p.Name = fmt.Sprintf("subq%d.%s", i, p.Name)
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// NumParams returns the scalar parameter count of the online Q path.
+func (n *QNetwork) NumParams() int {
+	total := 0
+	for _, ae := range n.aes {
+		total += ae.Enc.NumParams()
+	}
+	for _, sub := range n.subs {
+		total += sub.NumParams()
+	}
+	return total
+}
+
+// CopyWeightsFrom copies all weights (including decoders) from src. Used for
+// target-network synchronization; the two networks must share configuration.
+func (n *QNetwork) CopyWeightsFrom(src *QNetwork) {
+	if len(n.aes) != len(src.aes) || len(n.subs) != len(src.subs) {
+		panic("global: CopyWeightsFrom structure mismatch")
+	}
+	for i := range n.aes {
+		n.aes[i].CopyWeightsFrom(src.aes[i])
+	}
+	for i := range n.subs {
+		n.subs[i].CopyWeightsFrom(src.subs[i])
+	}
+}

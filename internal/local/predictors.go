@@ -1,0 +1,130 @@
+package local
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/lstm"
+)
+
+// ArrivalPredictor forecasts the next job inter-arrival time from the stream
+// of observed arrival instants. lstm.Predictor is the paper's choice; the
+// simpler predictors below are the linear-history baselines the paper argues
+// against in Sec. VI-A (one long inter-arrival ruins them), used by the X1
+// extension experiment.
+type ArrivalPredictor interface {
+	// ObserveArrival records a job arrival at absolute time t (seconds).
+	ObserveArrival(t float64)
+	// Predict returns the expected next inter-arrival time in seconds
+	// (+Inf when nothing has been observed).
+	Predict() float64
+}
+
+var _ ArrivalPredictor = (*lstm.Predictor)(nil)
+
+// LastValue predicts the most recent inter-arrival time.
+type LastValue struct {
+	last    float64
+	lastGap float64
+	seen    int
+}
+
+// NewLastValue returns a LastValue predictor.
+func NewLastValue() *LastValue { return &LastValue{last: math.NaN()} }
+
+// ObserveArrival implements ArrivalPredictor.
+func (p *LastValue) ObserveArrival(t float64) {
+	if !math.IsNaN(p.last) {
+		p.lastGap = t - p.last
+		p.seen++
+	}
+	p.last = t
+}
+
+// Predict implements ArrivalPredictor.
+func (p *LastValue) Predict() float64 {
+	if p.seen == 0 {
+		return math.Inf(1)
+	}
+	return p.lastGap
+}
+
+// EWMA predicts an exponentially-weighted moving average of inter-arrival
+// times, the classic predictive-shutdown estimator of Hwang & Wu (Sec. VI-A
+// reference [31]).
+type EWMA struct {
+	alpha float64
+	last  float64
+	est   float64
+	seen  int
+}
+
+// NewEWMA returns an EWMA predictor with smoothing factor alpha in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("local: EWMA alpha %v outside (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha, last: math.NaN()}
+}
+
+// ObserveArrival implements ArrivalPredictor.
+func (p *EWMA) ObserveArrival(t float64) {
+	if !math.IsNaN(p.last) {
+		gap := t - p.last
+		if p.seen == 0 {
+			p.est = gap
+		} else {
+			p.est = p.alpha*gap + (1-p.alpha)*p.est
+		}
+		p.seen++
+	}
+	p.last = t
+}
+
+// Predict implements ArrivalPredictor.
+func (p *EWMA) Predict() float64 {
+	if p.seen == 0 {
+		return math.Inf(1)
+	}
+	return p.est
+}
+
+// WindowMean predicts the mean of the last W inter-arrival times (the
+// Srivastava et al. linear-regression family reduced to its simplest
+// member).
+type WindowMean struct {
+	window []float64
+	cap    int
+	last   float64
+}
+
+// NewWindowMean returns a WindowMean predictor over the last w gaps.
+func NewWindowMean(w int) *WindowMean {
+	if w <= 0 {
+		panic(fmt.Sprintf("local: WindowMean size %d", w))
+	}
+	return &WindowMean{cap: w, last: math.NaN()}
+}
+
+// ObserveArrival implements ArrivalPredictor.
+func (p *WindowMean) ObserveArrival(t float64) {
+	if !math.IsNaN(p.last) {
+		p.window = append(p.window, t-p.last)
+		if len(p.window) > p.cap {
+			p.window = p.window[1:]
+		}
+	}
+	p.last = t
+}
+
+// Predict implements ArrivalPredictor.
+func (p *WindowMean) Predict() float64 {
+	if len(p.window) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, g := range p.window {
+		s += g
+	}
+	return s / float64(len(p.window))
+}

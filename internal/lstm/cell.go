@@ -1,0 +1,150 @@
+// Package lstm implements the long short-term memory network used by the
+// paper's local-tier workload predictor (Sec. VI-A): an input hidden layer,
+// one LSTM cell layer whose weights are shared across all time steps, and an
+// output hidden layer. Training uses truncated back-propagation through time
+// (BPTT) with the Adam optimizer, exactly as the paper prescribes (look-back
+// window of 35 inter-arrival times, 30 hidden units).
+package lstm
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/mat"
+	"hierdrl/internal/nn"
+)
+
+// Cell is a single LSTM cell. The four gate layers each map the concatenated
+// [x; hPrev] vector to the hidden dimension. One Cell object is applied at
+// every time step, which shares the weights across time (gradients
+// accumulate across applications).
+type Cell struct {
+	In, Hidden int
+
+	forget *nn.Dense // sigmoid
+	input  *nn.Dense // sigmoid
+	cand   *nn.Dense // tanh
+	output *nn.Dense // sigmoid
+}
+
+// NewCell returns an LSTM cell with Xavier-initialized gate weights. The
+// forget-gate bias starts at 1 (the standard trick that eases learning of
+// long dependencies).
+func NewCell(in, hidden int, rng *mat.RNG) *Cell {
+	if in <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("lstm: NewCell invalid dims in=%d hidden=%d", in, hidden))
+	}
+	c := &Cell{
+		In:     in,
+		Hidden: hidden,
+		forget: nn.NewDense(in+hidden, hidden, nn.Sigmoid{}, rng),
+		input:  nn.NewDense(in+hidden, hidden, nn.Sigmoid{}, rng),
+		cand:   nn.NewDense(in+hidden, hidden, nn.Tanh{}, rng),
+		output: nn.NewDense(in+hidden, hidden, nn.Sigmoid{}, rng),
+	}
+	c.forget.B.Fill(1)
+	return c
+}
+
+// State is the recurrent state (h, c) carried between time steps.
+type State struct {
+	H mat.Vec
+	C mat.Vec
+}
+
+// NewState returns the zero initial state, as the paper specifies.
+func (c *Cell) NewState() State {
+	return State{H: mat.NewVec(c.Hidden), C: mat.NewVec(c.Hidden)}
+}
+
+// Clone returns an independent copy of the state.
+func (s State) Clone() State {
+	return State{H: s.H.Clone(), C: s.C.Clone()}
+}
+
+// StepBack undoes one step of the recurrence during BPTT: given the loss
+// gradients with respect to this step's outputs (dH, dC), it returns the
+// gradients with respect to the step inputs.
+type StepBack func(dH, dC mat.Vec) (dx, dHPrev, dCPrev mat.Vec)
+
+// Step advances the recurrence by one time step and returns the new state
+// plus a backward closure. Gate parameter gradients accumulate in the cell.
+func (c *Cell) Step(x mat.Vec, prev State) (State, StepBack) {
+	if len(x) != c.In {
+		panic(fmt.Sprintf("lstm: Step input length %d want %d", len(x), c.In))
+	}
+	z := mat.Concat(x, prev.H)
+
+	f, backF := c.forget.Forward(z)
+	i, backI := c.input.Forward(z)
+	g, backG := c.cand.Forward(z) // candidate values, tanh
+	o, backO := c.output.Forward(z)
+
+	cNew := mat.NewVec(c.Hidden)
+	for k := range cNew {
+		cNew[k] = f[k]*prev.C[k] + i[k]*g[k]
+	}
+	tanhC := mat.NewVec(c.Hidden)
+	for k := range tanhC {
+		tanhC[k] = math.Tanh(cNew[k])
+	}
+	hNew := mat.NewVec(c.Hidden)
+	for k := range hNew {
+		hNew[k] = o[k] * tanhC[k]
+	}
+
+	cPrevSaved := prev.C.Clone()
+	back := func(dH, dC mat.Vec) (dx, dHPrev, dCPrev mat.Vec) {
+		if len(dH) != c.Hidden || len(dC) != c.Hidden {
+			panic("lstm: StepBack gradient length mismatch")
+		}
+		dO := mat.NewVec(c.Hidden)
+		dCTotal := mat.NewVec(c.Hidden)
+		for k := range dH {
+			dO[k] = dH[k] * tanhC[k]
+			dCTotal[k] = dH[k]*o[k]*(1-tanhC[k]*tanhC[k]) + dC[k]
+		}
+		dF := mat.NewVec(c.Hidden)
+		dI := mat.NewVec(c.Hidden)
+		dG := mat.NewVec(c.Hidden)
+		dCPrev = mat.NewVec(c.Hidden)
+		for k := range dCTotal {
+			dF[k] = dCTotal[k] * cPrevSaved[k]
+			dI[k] = dCTotal[k] * g[k]
+			dG[k] = dCTotal[k] * i[k]
+			dCPrev[k] = dCTotal[k] * f[k]
+		}
+		dz := backF(dF)
+		dz.Add(backI(dI))
+		dz.Add(backG(dG))
+		dz.Add(backO(dO))
+
+		dx = mat.Vec(dz[:c.In]).Clone()
+		dHPrev = mat.Vec(dz[c.In:]).Clone()
+		return dx, dHPrev, dCPrev
+	}
+	return State{H: hNew, C: cNew}, back
+}
+
+// Params enumerates all gate parameters.
+func (c *Cell) Params() []nn.Param {
+	var ps []nn.Param
+	for _, g := range []struct {
+		name  string
+		layer *nn.Dense
+	}{
+		{"forget", c.forget}, {"input", c.input}, {"cand", c.cand}, {"output", c.output},
+	} {
+		for _, p := range g.layer.Params() {
+			p.Name = g.name + "." + p.Name
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// NumParams returns the total scalar parameter count of the cell.
+func (c *Cell) NumParams() int {
+	return c.forget.NumParams() + c.input.NumParams() +
+		c.cand.NumParams() + c.output.NumParams()
+}

@@ -1,0 +1,143 @@
+package lstm
+
+import (
+	"fmt"
+
+	"hierdrl/internal/mat"
+	"hierdrl/internal/nn"
+)
+
+// NetworkConfig configures the three-layer prediction network of Fig. 7:
+// input hidden layer -> LSTM cell layer -> output hidden layer.
+type NetworkConfig struct {
+	// CellIn is the input size of the LSTM cell. The paper uses 1 (scalar
+	// inter-arrival times).
+	CellIn int
+	// Hidden is the number of LSTM hidden units. The paper uses 30.
+	Hidden int
+	// InitStd is the standard deviation for the normal initialization of the
+	// input/output hidden layers. The paper uses 1.0 with bias 0.1.
+	InitStd float64
+	// InitBias is the constant bias initialization. The paper uses 0.1.
+	InitBias float64
+}
+
+// DefaultNetworkConfig returns the paper's settings.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{CellIn: 1, Hidden: 30, InitStd: 1.0, InitBias: 0.1}
+}
+
+// Network is the full scalar-sequence regression model: it consumes a window
+// of scalar observations and predicts the next one.
+type Network struct {
+	cfg NetworkConfig
+
+	in   *nn.Dense // 1 -> CellIn, tanh ("input hidden layer")
+	cell *Cell     // CellIn -> Hidden
+	out  *nn.Dense // Hidden -> 1, linear ("output hidden layer")
+}
+
+// NewNetwork builds the network described by cfg.
+func NewNetwork(cfg NetworkConfig, rng *mat.RNG) *Network {
+	if cfg.CellIn <= 0 || cfg.Hidden <= 0 {
+		panic(fmt.Sprintf("lstm: NewNetwork invalid config %+v", cfg))
+	}
+	n := &Network{
+		cfg:  cfg,
+		in:   nn.NewDense(1, cfg.CellIn, nn.Tanh{}, rng),
+		cell: NewCell(cfg.CellIn, cfg.Hidden, rng),
+		out:  nn.NewDense(cfg.Hidden, 1, nn.Identity{}, rng),
+	}
+	// Paper Sec. VI-A: input/output layer weights ~ N(0, InitStd), biases
+	// set to the constant InitBias; LSTM initial state all zeros.
+	rng.FillNormal(n.in.W, 0, cfg.InitStd)
+	n.in.B.Fill(cfg.InitBias)
+	rng.FillNormal(n.out.W, 0, cfg.InitStd)
+	n.out.B.Fill(cfg.InitBias)
+	return n
+}
+
+// Predict runs the window through the recurrence and returns the model's
+// estimate of the next value. No backprop state is captured.
+func (n *Network) Predict(window []float64) float64 {
+	st := n.cell.NewState()
+	xIn := mat.NewVec(1)
+	cellIn := mat.NewVec(n.cfg.CellIn)
+	for _, v := range window {
+		xIn[0] = v
+		n.in.Infer(xIn, cellIn)
+		st, _ = n.cell.Step(cellIn, st)
+	}
+	out := mat.NewVec(1)
+	n.out.Infer(st.H, out)
+	return out[0]
+}
+
+// trainState bundles the per-step closures of one BPTT unroll.
+type trainState struct {
+	inBacks   []func(mat.Vec) mat.Vec
+	stepBacks []StepBack
+	final     State
+}
+
+func (n *Network) unroll(window []float64) trainState {
+	ts := trainState{
+		inBacks:   make([]func(mat.Vec) mat.Vec, len(window)),
+		stepBacks: make([]StepBack, len(window)),
+	}
+	st := n.cell.NewState()
+	for t, v := range window {
+		cellIn, inBack := n.in.Forward(mat.Vec{v})
+		var back StepBack
+		st, back = n.cell.Step(cellIn, st)
+		ts.inBacks[t] = inBack
+		ts.stepBacks[t] = back
+	}
+	ts.final = st
+	return ts
+}
+
+// BPTT runs one forward+backward pass for a single (window, target) sample,
+// accumulating gradients (scaled by weight) into the network parameters and
+// returning the squared prediction error.
+func (n *Network) BPTT(window []float64, target, weight float64) float64 {
+	if len(window) == 0 {
+		panic("lstm: BPTT empty window")
+	}
+	ts := n.unroll(window)
+	pred, outBack := n.out.Forward(ts.final.H)
+	err := pred[0] - target
+	// d(weight * err^2)/dpred = 2*weight*err
+	dH := outBack(mat.Vec{2 * weight * err})
+	dC := mat.NewVec(n.cfg.Hidden)
+	for t := len(window) - 1; t >= 0; t-- {
+		dx, dHPrev, dCPrev := ts.stepBacks[t](dH, dC)
+		n.inBack(ts.inBacks[t], dx)
+		dH, dC = dHPrev, dCPrev
+	}
+	return err * err
+}
+
+func (n *Network) inBack(back func(mat.Vec) mat.Vec, dCellIn mat.Vec) {
+	back(dCellIn) // gradient w.r.t. the scalar input is discarded
+}
+
+// Params enumerates every trainable parameter of the network.
+func (n *Network) Params() []nn.Param {
+	var ps []nn.Param
+	for _, p := range n.in.Params() {
+		p.Name = "in." + p.Name
+		ps = append(ps, p)
+	}
+	ps = append(ps, n.cell.Params()...)
+	for _, p := range n.out.Params() {
+		p.Name = "out." + p.Name
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int {
+	return n.in.NumParams() + n.cell.NumParams() + n.out.NumParams()
+}

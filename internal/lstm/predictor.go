@@ -1,0 +1,251 @@
+package lstm
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/mat"
+	"hierdrl/internal/nn"
+)
+
+// PredictorConfig configures the local-tier workload predictor.
+type PredictorConfig struct {
+	// Lookback is the number of past inter-arrival times fed to the network.
+	// The paper uses 35.
+	Lookback int
+	// Network configures the underlying LSTM.
+	Network NetworkConfig
+	// LearningRate for Adam. The paper uses Adam but does not state the rate;
+	// 0.005 converges quickly at this scale.
+	LearningRate float64
+	// TrainEvery controls online training cadence: after every TrainEvery
+	// observed arrivals the predictor replays BatchSize recent windows.
+	TrainEvery int
+	// BatchSize is the number of windows replayed per training round.
+	BatchSize int
+	// HistoryCap bounds the retained inter-arrival history.
+	HistoryCap int
+	// ClipNorm is the gradient-norm clip applied before each Adam step.
+	ClipNorm float64
+}
+
+// DefaultPredictorConfig returns the paper's settings with pragmatic
+// defaults where the paper is silent.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{
+		Lookback:     35,
+		Network:      DefaultNetworkConfig(),
+		LearningRate: 0.005,
+		TrainEvery:   16,
+		BatchSize:    8,
+		HistoryCap:   4096,
+		ClipNorm:     10,
+	}
+}
+
+// Predictor forecasts the next job inter-arrival time for one server from
+// its observed arrival history. Raw inter-arrival times span several orders
+// of magnitude, so they are modeled in log1p space with running
+// standardization (Welford), which keeps the network inputs well-scaled
+// without a separate normalization pass.
+type Predictor struct {
+	cfg PredictorConfig
+	net *Network
+	opt *nn.Adam
+	rng *mat.RNG
+
+	lastArrival float64 // most recent arrival time, or NaN before the first
+	history     []float64
+
+	// Welford running moments of log1p(inter-arrival).
+	count   int
+	mean    float64
+	m2      float64
+	trained int
+	sinceT  int
+}
+
+// NewPredictor returns a Predictor with freshly initialized weights.
+func NewPredictor(cfg PredictorConfig, rng *mat.RNG) *Predictor {
+	if cfg.Lookback <= 0 {
+		panic(fmt.Sprintf("lstm: NewPredictor invalid lookback %d", cfg.Lookback))
+	}
+	if cfg.HistoryCap < cfg.Lookback+1 {
+		panic("lstm: HistoryCap must exceed Lookback")
+	}
+	return &Predictor{
+		cfg:         cfg,
+		net:         NewNetwork(cfg.Network, rng),
+		opt:         nn.NewAdam(cfg.LearningRate),
+		rng:         rng,
+		lastArrival: math.NaN(),
+	}
+}
+
+// ObserveArrival records a job arrival at time t (seconds) and triggers
+// periodic online training.
+func (p *Predictor) ObserveArrival(t float64) {
+	if !math.IsNaN(p.lastArrival) {
+		gap := t - p.lastArrival
+		if gap < 0 {
+			panic(fmt.Sprintf("lstm: arrivals out of order: %v after %v", t, p.lastArrival))
+		}
+		p.observeGap(gap)
+	}
+	p.lastArrival = t
+}
+
+// ObserveGap records a raw inter-arrival sample directly (used when replaying
+// traces offline).
+func (p *Predictor) ObserveGap(gap float64) {
+	if gap < 0 {
+		panic("lstm: negative inter-arrival")
+	}
+	p.observeGap(gap)
+}
+
+func (p *Predictor) observeGap(gap float64) {
+	z := math.Log1p(gap)
+	p.count++
+	delta := z - p.mean
+	p.mean += delta / float64(p.count)
+	p.m2 += delta * (z - p.mean)
+
+	p.history = append(p.history, gap)
+	if len(p.history) > p.cfg.HistoryCap {
+		p.history = p.history[len(p.history)-p.cfg.HistoryCap:]
+	}
+	p.sinceT++
+	if p.sinceT >= p.cfg.TrainEvery && len(p.history) > p.cfg.Lookback {
+		p.sinceT = 0
+		p.trainRound()
+	}
+}
+
+func (p *Predictor) std() float64 {
+	if p.count < 2 {
+		return 1
+	}
+	s := math.Sqrt(p.m2 / float64(p.count-1))
+	if s < 1e-6 {
+		return 1e-6
+	}
+	return s
+}
+
+// normalize maps a raw gap to network space.
+func (p *Predictor) normalize(gap float64) float64 {
+	return (math.Log1p(gap) - p.mean) / p.std()
+}
+
+// denormalize maps a network-space value back to seconds (clamped >= 0).
+func (p *Predictor) denormalize(z float64) float64 {
+	gap := math.Expm1(z*p.std() + p.mean)
+	if gap < 0 || math.IsNaN(gap) {
+		return 0
+	}
+	return gap
+}
+
+func (p *Predictor) window(end int) []float64 {
+	w := make([]float64, p.cfg.Lookback)
+	for i := 0; i < p.cfg.Lookback; i++ {
+		w[i] = p.normalize(p.history[end-p.cfg.Lookback+i])
+	}
+	return w
+}
+
+func (p *Predictor) trainRound() {
+	params := p.net.Params()
+	nn.ZeroGrads(params)
+	batch := p.cfg.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	scale := 1 / float64(batch)
+	for b := 0; b < batch; b++ {
+		// Sample a random training window from history, biased toward the
+		// recent past (the workload is non-stationary).
+		maxEnd := len(p.history) - 1
+		minEnd := p.cfg.Lookback
+		span := maxEnd - minEnd
+		end := maxEnd
+		if span > 0 {
+			// Quadratic recency bias.
+			u := p.rng.Float64()
+			end = minEnd + int(float64(span)*math.Sqrt(u))
+		}
+		target := p.normalize(p.history[end])
+		p.net.BPTT(p.window(end), target, scale)
+	}
+	if p.cfg.ClipNorm > 0 {
+		nn.ClipGrads(params, p.cfg.ClipNorm)
+	}
+	p.opt.Step(params)
+	p.trained++
+}
+
+// Ready reports whether the predictor has enough history for an LSTM
+// prediction (otherwise Predict falls back to the running mean).
+func (p *Predictor) Ready() bool {
+	return len(p.history) >= p.cfg.Lookback && p.trained > 0
+}
+
+// Predict returns the expected next inter-arrival time in seconds.
+// Before enough history accumulates it falls back to the running mean
+// inter-arrival (or a large default when nothing has been observed).
+func (p *Predictor) Predict() float64 {
+	if !p.Ready() {
+		if p.count == 0 {
+			return math.Inf(1)
+		}
+		return math.Expm1(p.mean)
+	}
+	w := p.window(len(p.history))
+	return p.denormalize(p.net.Predict(w))
+}
+
+// TrainingRounds reports how many Adam steps have been applied (diagnostics).
+func (p *Predictor) TrainingRounds() int { return p.trained }
+
+// ObservedArrivals reports how many inter-arrival samples have been recorded.
+func (p *Predictor) ObservedArrivals() int { return p.count }
+
+// Discretizer maps a continuous inter-arrival prediction to one of n
+// categories via explicit boundaries, producing the finite state component
+// the local RL power manager needs (paper Sec. VI-A: "we discretize the
+// output inter-arrival time prediction by setting n predefined categories").
+type Discretizer struct {
+	bounds []float64
+}
+
+// NewDiscretizer builds a Discretizer from strictly increasing boundaries.
+// A prediction x maps to the smallest i with x < bounds[i], or len(bounds)
+// when x exceeds every boundary, so there are len(bounds)+1 categories.
+func NewDiscretizer(bounds []float64) *Discretizer {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("lstm: Discretizer boundaries must be strictly increasing")
+		}
+	}
+	return &Discretizer{bounds: append([]float64(nil), bounds...)}
+}
+
+// DefaultDiscretizer covers the timeout-relevant horizon: boundaries at
+// 15, 30, 60, 90, 120, 300 s give 7 categories.
+func DefaultDiscretizer() *Discretizer {
+	return NewDiscretizer([]float64{15, 30, 60, 90, 120, 300})
+}
+
+// Categorize returns the category index for prediction x.
+func (d *Discretizer) Categorize(x float64) int {
+	for i, b := range d.bounds {
+		if x < b {
+			return i
+		}
+	}
+	return len(d.bounds)
+}
+
+// NumCategories returns the number of categories.
+func (d *Discretizer) NumCategories() int { return len(d.bounds) + 1 }

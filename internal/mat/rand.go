@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the sampling helpers the library needs. Every
+// stochastic component takes an explicit *RNG so experiments are exactly
+// reproducible from a seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// LogNormal returns exp(Normal(mu, sigma)): a log-normal sample whose
+// underlying normal has mean mu and standard deviation sigma.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Exponential returns an exponential sample with the given rate (1/mean).
+// It panics if rate <= 0.
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("mat: Exponential requires rate > 0")
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Split derives a new independent RNG from this one. It is used to hand
+// deterministic sub-streams to components (one per server, one per network)
+// without sharing mutable state.
+func (g *RNG) Split() *RNG { return NewRNG(g.r.Int63()) }
+
+// FillXavier initializes m with Xavier/Glorot uniform samples scaled for
+// fanIn inputs and fanOut outputs: U(-sqrt(6/(in+out)), +sqrt(6/(in+out))).
+func (g *RNG) FillXavier(m *Dense, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = g.Uniform(-limit, limit)
+	}
+}
+
+// FillNormal initializes m with Gaussian samples.
+func (g *RNG) FillNormal(m *Dense, mean, std float64) {
+	for i := range m.Data {
+		m.Data[i] = g.Normal(mean, std)
+	}
+}
+
+// FillVecNormal initializes v with Gaussian samples.
+func (g *RNG) FillVecNormal(v Vec, mean, std float64) {
+	for i := range v {
+		v[i] = g.Normal(mean, std)
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics collects the evaluation measurements of Sec. VII:
+// accumulated job latency and energy versus job count (Fig. 8/9 series),
+// summary rows at a fixed job count (Table I), and per-job averages for the
+// trade-off study (Fig. 10).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hierdrl/internal/cluster"
+	"hierdrl/internal/sim"
+)
+
+// JoulesPerKWh converts joules to kilowatt-hours.
+const JoulesPerKWh = 3.6e6
+
+// Checkpoint is one point of the Fig. 8/9 accumulated series, captured when
+// the Nth job completes.
+type Checkpoint struct {
+	// Jobs is the number of completed jobs at this checkpoint.
+	Jobs int
+	// Time is the simulation time of the checkpoint.
+	Time sim.Time
+	// AccLatencySec is the accumulated latency of all completed jobs.
+	AccLatencySec float64
+	// EnergykWh is the cluster energy consumed so far.
+	EnergykWh float64
+}
+
+// Summary is one Table I row plus the per-job averages used by Fig. 10.
+type Summary struct {
+	Policy           string
+	M                int
+	Jobs             int
+	DurationSec      float64 // simulated span
+	EnergykWh        float64
+	AccLatencySec    float64
+	AvgPowerW        float64
+	AvgLatencySec    float64
+	AvgEnergyJPerJob float64
+	P95LatencySec    float64
+	MeanWaitSec      float64
+	Wakeups          int64
+	Shutdowns        int64
+}
+
+// String renders the summary as a single aligned row.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-14s M=%-3d jobs=%-7d energy=%8.2f kWh  accLat=%8.2f e6 s  power=%8.2f W  avgLat=%7.1f s",
+		s.Policy, s.M, s.Jobs, s.EnergykWh, s.AccLatencySec/1e6, s.AvgPowerW, s.AvgLatencySec)
+}
+
+// Collector accumulates per-job and per-cluster measurements during one run.
+type Collector struct {
+	checkpointEvery int
+
+	accLatency float64
+	waits      []float64
+	latencies  []float64
+	completed  int
+
+	checkpoints []Checkpoint
+	clusterRef  *cluster.Cluster
+}
+
+// NewCollector returns a collector that records a checkpoint every
+// checkpointEvery completions (0 disables the series).
+func NewCollector(c *cluster.Cluster, checkpointEvery int) *Collector {
+	if checkpointEvery < 0 {
+		panic(fmt.Sprintf("metrics: negative checkpoint interval %d", checkpointEvery))
+	}
+	col := &Collector{checkpointEvery: checkpointEvery, clusterRef: c}
+	return col
+}
+
+// JobDone records a completed job. Wire it to cluster.OnJobDone.
+func (c *Collector) JobDone(t sim.Time, j *cluster.Job) {
+	lat := j.Latency()
+	c.accLatency += lat
+	c.latencies = append(c.latencies, lat)
+	c.waits = append(c.waits, j.WaitTime())
+	c.completed++
+	if c.checkpointEvery > 0 && c.completed%c.checkpointEvery == 0 {
+		c.checkpoints = append(c.checkpoints, Checkpoint{
+			Jobs:          c.completed,
+			Time:          t,
+			AccLatencySec: c.accLatency,
+			EnergykWh:     c.clusterRef.TotalEnergyJoules(t) / JoulesPerKWh,
+		})
+	}
+}
+
+// Completed returns the number of completions recorded.
+func (c *Collector) Completed() int { return c.completed }
+
+// AccLatency returns the accumulated latency in seconds.
+func (c *Collector) AccLatency() float64 { return c.accLatency }
+
+// Checkpoints returns the recorded Fig. 8/9 series.
+func (c *Collector) Checkpoints() []Checkpoint { return c.checkpoints }
+
+// Summarize produces the Table I row at the current simulation time.
+func (c *Collector) Summarize(policy string, now sim.Time) Summary {
+	energyJ := c.clusterRef.TotalEnergyJoules(now)
+	s := Summary{
+		Policy:        policy,
+		M:             c.clusterRef.M(),
+		Jobs:          c.completed,
+		DurationSec:   now.Seconds(),
+		EnergykWh:     energyJ / JoulesPerKWh,
+		AccLatencySec: c.accLatency,
+	}
+	if now > 0 {
+		s.AvgPowerW = energyJ / now.Seconds()
+	}
+	if c.completed > 0 {
+		s.AvgLatencySec = c.accLatency / float64(c.completed)
+		s.AvgEnergyJPerJob = energyJ / float64(c.completed)
+		s.P95LatencySec = percentile(c.latencies, 0.95)
+		var w float64
+		for _, x := range c.waits {
+			w += x
+		}
+		s.MeanWaitSec = w / float64(len(c.waits))
+	}
+	for i := 0; i < c.clusterRef.M(); i++ {
+		s.Wakeups += c.clusterRef.Server(i).Wakeups()
+		s.Shutdowns += c.clusterRef.Server(i).Shutdowns()
+	}
+	return s
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TradeoffPoint is one point of the Fig. 10 study: per-job averages achieved
+// by one configuration.
+type TradeoffPoint struct {
+	Label            string
+	Weight           float64 // the latency/power weight that produced it
+	AvgLatencySec    float64
+	AvgEnergyJPerJob float64
+}
+
+// ParetoFront filters points to the non-dominated subset (lower latency and
+// lower energy are both better), sorted by latency.
+func ParetoFront(points []TradeoffPoint) []TradeoffPoint {
+	sorted := append([]TradeoffPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].AvgLatencySec != sorted[j].AvgLatencySec {
+			return sorted[i].AvgLatencySec < sorted[j].AvgLatencySec
+		}
+		return sorted[i].AvgEnergyJPerJob < sorted[j].AvgEnergyJPerJob
+	})
+	var front []TradeoffPoint
+	best := math.Inf(1)
+	for _, p := range sorted {
+		if p.AvgEnergyJPerJob < best-1e-12 {
+			front = append(front, p)
+			best = p.AvgEnergyJPerJob
+		}
+	}
+	return front
+}
+
+// HypervolumeArea returns the area dominated by the Pareto front of points
+// relative to the reference (refLat, refEnergy) corner — the "smallest area
+// against the axes" criterion the paper uses to compare trade-off curves
+// (smaller front-to-origin area = better; we report the dominated area,
+// larger = better).
+func HypervolumeArea(points []TradeoffPoint, refLat, refEnergy float64) float64 {
+	// Standard 2-D hypervolume with minimization on both axes: sweep the
+	// front in increasing latency; each point dominates the rectangle
+	// between its energy and the reference energy, over the latency span to
+	// the next point.
+	front := ParetoFront(points)
+	var area float64
+	for i, p := range front {
+		if p.AvgLatencySec >= refLat || p.AvgEnergyJPerJob >= refEnergy {
+			continue
+		}
+		nextLat := refLat
+		if i+1 < len(front) && front[i+1].AvgLatencySec < refLat {
+			nextLat = front[i+1].AvgLatencySec
+		}
+		area += (nextLat - p.AvgLatencySec) * (refEnergy - p.AvgEnergyJPerJob)
+	}
+	return area
+}

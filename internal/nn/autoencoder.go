@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+
+	"hierdrl/internal/mat"
+)
+
+// Autoencoder is the representation-learning component of the paper's
+// global-tier DNN (Sec. V-A): an encoder that compresses a server-group
+// state vector to a low-dimensional code, plus a mirrored decoder used only
+// during (pre-)training with a reconstruction objective. The paper's encoder
+// is two fully-connected ELU layers with 30 and 15 neurons.
+type Autoencoder struct {
+	Enc *MLP
+	Dec *MLP
+}
+
+// NewAutoencoder builds an autoencoder for input dimension in with the given
+// hidden sizes; the last hidden size is the code dimension. All encoder and
+// decoder layers use ELU except the decoder output, which is linear so that
+// arbitrary-range inputs can be reconstructed.
+func NewAutoencoder(in int, hidden []int, rng *mat.RNG) *Autoencoder {
+	if in <= 0 {
+		panic(fmt.Sprintf("nn: NewAutoencoder invalid input dim %d", in))
+	}
+	if len(hidden) == 0 {
+		panic("nn: NewAutoencoder needs at least one hidden size")
+	}
+	encSizes := append([]int{in}, hidden...)
+	encActs := make([]Activation, len(hidden))
+	for i := range encActs {
+		encActs[i] = ELU{}
+	}
+	decSizes := make([]int, 0, len(hidden)+1)
+	for i := len(hidden) - 1; i >= 0; i-- {
+		decSizes = append(decSizes, hidden[i])
+	}
+	decSizes = append(decSizes, in)
+	decActs := make([]Activation, len(decSizes)-1)
+	for i := range decActs {
+		if i == len(decActs)-1 {
+			decActs[i] = Identity{}
+		} else {
+			decActs[i] = ELU{}
+		}
+	}
+	return &Autoencoder{
+		Enc: NewMLP(encSizes, encActs, rng),
+		Dec: NewMLP(decSizes, decActs, rng),
+	}
+}
+
+// CodeDim returns the dimensionality of the learned representation.
+func (a *Autoencoder) CodeDim() int { return a.Enc.OutDim() }
+
+// InDim returns the input dimensionality.
+func (a *Autoencoder) InDim() int { return a.Enc.InDim() }
+
+// Encode returns the code for x together with a backward closure (for use
+// when the encoder participates in a larger computation graph, as in the
+// global-tier Q-network).
+func (a *Autoencoder) Encode(x mat.Vec) (code mat.Vec, back func(dy mat.Vec) mat.Vec) {
+	return a.Enc.Forward(x)
+}
+
+// EncodeInfer returns the code for x without capturing backprop state.
+func (a *Autoencoder) EncodeInfer(x mat.Vec) mat.Vec { return a.Enc.Infer(x) }
+
+// ReconstructionLoss runs encode+decode on x and returns the MSE
+// reconstruction loss without updating any weights.
+func (a *Autoencoder) ReconstructionLoss(x mat.Vec) float64 {
+	y := a.Dec.Infer(a.Enc.Infer(x))
+	loss, _ := MSE(y, x)
+	return loss
+}
+
+// TrainBatch performs one optimizer step on a minibatch of inputs using the
+// reconstruction MSE objective, returning the mean loss over the batch.
+func (a *Autoencoder) TrainBatch(xs []mat.Vec, opt Optimizer, clipNorm float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	params := a.Params()
+	ZeroGrads(params)
+	var total float64
+	scale := 1 / float64(len(xs))
+	for _, x := range xs {
+		code, encBack := a.Enc.Forward(x)
+		y, decBack := a.Dec.Forward(code)
+		loss, grad := MSE(y, x)
+		total += loss
+		grad.Scale(scale)
+		encBack(decBack(grad))
+	}
+	if clipNorm > 0 {
+		ClipGrads(params, clipNorm)
+	}
+	opt.Step(params)
+	return total / float64(len(xs))
+}
+
+// Params enumerates encoder and decoder parameters.
+func (a *Autoencoder) Params() []Param {
+	ps := a.Enc.Params()
+	for _, p := range a.Dec.Params() {
+		p.Name = "dec." + p.Name
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// CopyWeightsFrom copies all weights from src.
+func (a *Autoencoder) CopyWeightsFrom(src *Autoencoder) {
+	a.Enc.CopyWeightsFrom(src.Enc)
+	a.Dec.CopyWeightsFrom(src.Dec)
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/mat"
+)
+
+// Param is one trainable tensor (flattened) together with its accumulated
+// gradient. Optimizers mutate Val in place.
+type Param struct {
+	Name string
+	Val  []float64
+	Grad []float64
+}
+
+// ZeroGrads clears the gradient buffers of all params.
+func ZeroGrads(params []Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the global L2 norm across all parameter gradients.
+func GradNorm(params []Param) float64 {
+	var s float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads rescales all gradients so their global L2 norm is at most
+// maxNorm (the paper clips at 10). It returns the pre-clip norm.
+func ClipGrads(params []Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Dense is a fully-connected layer: y = act(W x + b). Forward returns a
+// backward closure that accumulates dW and db and returns dx, so the same
+// layer object may be applied several times per sample (weight sharing).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	W  *mat.Dense // Out x In
+	B  mat.Vec    // Out
+	GW *mat.Dense // gradient accumulator, Out x In
+	GB mat.Vec    // gradient accumulator, Out
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights and zero
+// biases. act may be nil, which means Identity.
+func NewDense(in, out int, act Activation, rng *mat.RNG) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: NewDense invalid dims in=%d out=%d", in, out))
+	}
+	if act == nil {
+		act = Identity{}
+	}
+	d := &Dense{
+		In:  in,
+		Out: out,
+		Act: act,
+		W:   mat.NewDense(out, in),
+		B:   mat.NewVec(out),
+		GW:  mat.NewDense(out, in),
+		GB:  mat.NewVec(out),
+	}
+	rng.FillXavier(d.W, in, out)
+	return d
+}
+
+// Forward computes y = act(Wx + b) and returns a backward closure. The
+// closure accumulates parameter gradients into GW/GB and returns dL/dx.
+// The returned y is freshly allocated and owned by the caller.
+func (d *Dense) Forward(x mat.Vec) (y mat.Vec, back func(dy mat.Vec) mat.Vec) {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense.Forward input length %d want %d", len(x), d.In))
+	}
+	pre := mat.NewVec(d.Out)
+	d.W.MulVec(x, pre)
+	pre.Add(d.B)
+	y = mat.NewVec(d.Out)
+	for i, p := range pre {
+		y[i] = d.Act.F(p)
+	}
+	xSaved := x.Clone()
+	back = func(dy mat.Vec) mat.Vec {
+		if len(dy) != d.Out {
+			panic(fmt.Sprintf("nn: Dense backward grad length %d want %d", len(dy), d.Out))
+		}
+		dPre := mat.NewVec(d.Out)
+		for i := range dy {
+			dPre[i] = dy[i] * d.Act.Deriv(pre[i], y[i])
+		}
+		d.GW.AddOuter(1, dPre, xSaved)
+		d.GB.Add(dPre)
+		dx := mat.NewVec(d.In)
+		d.W.MulVecT(dPre, dx)
+		return dx
+	}
+	return y, back
+}
+
+// Infer computes the layer output without capturing state for backprop.
+// dst must have length Out; it is returned for convenience.
+func (d *Dense) Infer(x, dst mat.Vec) mat.Vec {
+	if len(x) != d.In || len(dst) != d.Out {
+		panic(fmt.Sprintf("nn: Dense.Infer shapes len(x)=%d len(dst)=%d want %d,%d",
+			len(x), len(dst), d.In, d.Out))
+	}
+	d.W.MulVec(x, dst)
+	dst.Add(d.B)
+	for i, p := range dst {
+		dst[i] = d.Act.F(p)
+	}
+	return dst
+}
+
+// Params implements the parameter enumeration used by optimizers.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: "W", Val: d.W.Data, Grad: d.GW.Data},
+		{Name: "b", Val: d.B, Grad: d.GB},
+	}
+}
+
+// CopyWeightsFrom copies the weights (not gradients) of src into d. The two
+// layers must have identical shape. Used for target-network syncing.
+func (d *Dense) CopyWeightsFrom(src *Dense) {
+	if d.In != src.In || d.Out != src.Out {
+		panic(fmt.Sprintf("nn: CopyWeightsFrom shape mismatch %dx%d != %dx%d",
+			d.Out, d.In, src.Out, src.In))
+	}
+	d.W.CopyFrom(src.W)
+	d.B.CopyFrom(src.B)
+}
+
+// NumParams returns the number of scalar parameters in the layer.
+func (d *Dense) NumParams() int { return d.Out*d.In + d.Out }

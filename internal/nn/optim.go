@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam implements the Adam stochastic optimizer (Kingma & Ba, 2014), which
+// the paper uses for both the DNN and the LSTM. The optimizer keeps one
+// first/second moment buffer per parameter tensor, matched by position, so
+// Step must always be called with the same parameter list.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults
+// (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic("nn: Adam requires lr > 0")
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update using the accumulated gradients in params and
+// then leaves the gradients untouched (callers typically ZeroGrads after).
+func (a *Adam) Step(params []Param) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Val))
+			a.v[i] = make([]float64, len(p.Val))
+		}
+	}
+	if len(params) != len(a.m) {
+		panic(fmt.Sprintf("nn: Adam.Step param count changed: %d != %d",
+			len(params), len(a.m)))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		if len(p.Val) != len(a.m[i]) {
+			panic(fmt.Sprintf("nn: Adam.Step param %d size changed: %d != %d",
+				i, len(p.Val), len(a.m[i])))
+		}
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Val[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// Steps returns how many updates have been applied.
+func (a *Adam) Steps() int { return a.t }
+
+// SGD is a plain stochastic-gradient-descent optimizer, available as a
+// baseline for the ablation benchmarks.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel [][]float64
+}
+
+// NewSGD returns an SGD optimizer with optional momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	if lr <= 0 {
+		panic("nn: SGD requires lr > 0")
+	}
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []Param) {
+	if s.vel == nil {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, len(p.Val))
+		}
+	}
+	if len(params) != len(s.vel) {
+		panic(fmt.Sprintf("nn: SGD.Step param count changed: %d != %d",
+			len(params), len(s.vel)))
+	}
+	for i, p := range params {
+		vel := s.vel[i]
+		for j, g := range p.Grad {
+			vel[j] = s.Momentum*vel[j] - s.LR*g
+			p.Val[j] += vel[j]
+		}
+	}
+}
+
+// Optimizer abstracts Adam and SGD so network trainers can be parameterized.
+type Optimizer interface {
+	Step(params []Param)
+}
+
+var (
+	_ Optimizer = (*Adam)(nil)
+	_ Optimizer = (*SGD)(nil)
+)

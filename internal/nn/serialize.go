@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a serializable copy of a parameter set, keyed by parameter
+// name. It captures weights only (not optimizer state), which is what model
+// checkpointing needs: a trained network can be saved after the offline
+// phase and restored into a fresh process.
+type Snapshot map[string][]float64
+
+// TakeSnapshot deep-copies the current values of params.
+func TakeSnapshot(params []Param) Snapshot {
+	s := make(Snapshot, len(params))
+	for _, p := range params {
+		if _, dup := s[p.Name]; dup {
+			panic(fmt.Sprintf("nn: duplicate parameter name %q in snapshot", p.Name))
+		}
+		s[p.Name] = append([]float64(nil), p.Val...)
+	}
+	return s
+}
+
+// Restore copies the snapshot's values into params. Every parameter must be
+// present with a matching length; extra snapshot entries are an error too,
+// so architecture mismatches fail loudly instead of loading garbage.
+func (s Snapshot) Restore(params []Param) error {
+	if len(s) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d tensors, network has %d", len(s), len(params))
+	}
+	for _, p := range params {
+		vals, ok := s[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(vals) != len(p.Val) {
+			return fmt.Errorf("nn: parameter %q has %d values, want %d",
+				p.Name, len(vals), len(p.Val))
+		}
+	}
+	for _, p := range params {
+		copy(p.Val, s[p.Name])
+	}
+	return nil
+}
+
+// Write serializes the snapshot as JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("nn: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a JSON snapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,87 @@
+package rl
+
+import (
+	"fmt"
+
+	"hierdrl/internal/mat"
+)
+
+// Replay is a bounded experience-replay ring buffer ("experience memory D
+// with capacity ND" in Algorithm 1). When full, the oldest transitions are
+// overwritten. Sampling is uniform with replacement, which — per the DQN
+// line of work the paper builds on — decorrelates minibatches and smooths
+// learning.
+type Replay[T any] struct {
+	buf  []T
+	cap  int
+	next int
+	full bool
+}
+
+// NewReplay returns a replay memory with the given capacity.
+func NewReplay[T any](capacity int) *Replay[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: NewReplay invalid capacity %d", capacity))
+	}
+	return &Replay[T]{buf: make([]T, capacity), cap: capacity}
+}
+
+// Add appends a transition, evicting the oldest when at capacity.
+func (r *Replay[T]) Add(t T) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay[T]) Len() int {
+	if r.full {
+		return r.cap
+	}
+	return r.next
+}
+
+// Cap returns the capacity ND.
+func (r *Replay[T]) Cap() int { return r.cap }
+
+// Sample fills dst with n transitions drawn uniformly with replacement.
+// It panics when the memory is empty.
+func (r *Replay[T]) Sample(n int, rng *mat.RNG) []T {
+	ln := r.Len()
+	if ln == 0 {
+		panic("rl: Sample from empty replay memory")
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(ln)]
+	}
+	return out
+}
+
+// Each calls fn for every stored transition in insertion order (oldest
+// first).
+func (r *Replay[T]) Each(fn func(T)) {
+	if r.full {
+		for i := r.next; i < r.cap; i++ {
+			fn(r.buf[i])
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		fn(r.buf[i])
+	}
+}
+
+// Latest returns the most recently added transition. It panics when empty.
+func (r *Replay[T]) Latest() T {
+	if r.Len() == 0 {
+		panic("rl: Latest on empty replay memory")
+	}
+	idx := r.next - 1
+	if idx < 0 {
+		idx = r.cap - 1
+	}
+	return r.buf[idx]
+}

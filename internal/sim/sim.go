@@ -1,0 +1,183 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a monotone simulated clock and a binary-heap event queue with cancellable
+// timers. Events scheduled for the same instant fire in scheduling order
+// (FIFO tie-break by sequence number), which keeps whole-cluster simulations
+// exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run. A dedicated
+// type keeps simulated instants from mixing silently with durations or wall
+// time.
+type Time float64
+
+// Seconds returns the time as a raw float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Timer is a handle to a scheduled event. Cancel prevents a pending event
+// from firing; cancelling an already-fired or already-cancelled timer is a
+// no-op.
+type Timer struct {
+	at        Time
+	seq       int64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// Cancel prevents the timer from firing. Reports whether the timer was still
+// pending.
+func (tm *Timer) Cancel() bool {
+	if tm == nil || tm.cancelled || tm.fired {
+		return false
+	}
+	tm.cancelled = true
+	tm.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is scheduled and not yet fired or
+// cancelled.
+func (tm *Timer) Pending() bool { return tm != nil && !tm.cancelled && !tm.fired }
+
+// At returns the instant the timer is (or was) scheduled for.
+func (tm *Timer) At() Time { return tm.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator owns the clock and the event queue. The zero value is not
+// usable; construct with New.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	nFired int64
+}
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Schedule registers fn to run at the absolute instant at. Scheduling in the
+// past panics — it always indicates a logic error in the model.
+func (s *Simulator) Schedule(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: Schedule in the past: %v < now %v", at, s.now))
+	}
+	if math.IsNaN(float64(at)) {
+		panic("sim: Schedule at NaN")
+	}
+	tm := &Timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// ScheduleAfter registers fn to run after the given delay in seconds.
+func (s *Simulator) ScheduleAfter(delay float64, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleAfter negative delay %v", delay))
+	}
+	return s.Schedule(s.now+Time(delay), fn)
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event fired (false means the queue is empty).
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		tm := heap.Pop(&s.events).(*Timer)
+		if tm.cancelled {
+			continue
+		}
+		s.now = tm.at
+		tm.fired = true
+		fn := tm.fn
+		tm.fn = nil
+		s.nFired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or the next event is strictly
+// after until. The clock ends at min(until, last fired event); it never
+// exceeds until.
+func (s *Simulator) Run(until Time) {
+	for {
+		next, ok := s.PeekTime()
+		if !ok || next > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll fires every pending event. It panics if more than maxEvents fire,
+// protecting tests from runaway self-rescheduling models.
+func (s *Simulator) RunAll(maxEvents int64) {
+	var fired int64
+	for s.Step() {
+		fired++
+		if fired > maxEvents {
+			panic(fmt.Sprintf("sim: RunAll exceeded %d events", maxEvents))
+		}
+	}
+}
+
+// PeekTime returns the timestamp of the next pending event.
+func (s *Simulator) PeekTime() (Time, bool) {
+	for len(s.events) > 0 {
+		if s.events[0].cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
+// Pending returns the number of queued (non-cancelled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the total number of events that have executed.
+func (s *Simulator) Fired() int64 { return s.nFired }

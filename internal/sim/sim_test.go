@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hierdrl/internal/mat"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.RunAll(10)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v want %v", order, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v want 3", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("Fired = %d want 3", s.Fired())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.RunAll(20)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	s := New()
+	var at Time
+	s.Schedule(10, func() {
+		s.ScheduleAfter(5, func() { at = s.Now() })
+	})
+	s.RunAll(10)
+	if at != 15 {
+		t.Fatalf("ScheduleAfter fired at %v want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.Schedule(1, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("fresh timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel should report success")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report failure")
+	}
+	s.RunAll(10)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Fatal("cancelled timer still pending")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := New()
+	tm := s.Schedule(1, func() {})
+	s.RunAll(10)
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report failure")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.Run(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock after Run(3) = %v want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d want 2", s.Pending())
+	}
+	// Running to a time with no events still advances the clock.
+	s.Run(10)
+	if s.Now() != 10 {
+		t.Fatalf("clock after Run(10) = %v want 10", s.Now())
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestEventsCanSchedule(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.ScheduleAfter(1, recurse)
+		}
+	}
+	s.Schedule(0, recurse)
+	s.RunAll(1000)
+	if depth != 100 {
+		t.Fatalf("depth = %d want 100", depth)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("clock = %v want 99", s.Now())
+	}
+}
+
+func TestRunAllGuard(t *testing.T) {
+	s := New()
+	var loop func()
+	loop = func() { s.ScheduleAfter(1, loop) }
+	s.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunAll must panic on runaway event loops")
+		}
+	}()
+	s.RunAll(50)
+}
+
+func TestSchedulePanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Step()
+	cases := map[string]func(){
+		"Past":          func() { s.Schedule(1, func() {}) },
+		"Nil":           func() { s.Schedule(10, nil) },
+		"NaN":           func() { s.Schedule(Time(math.NaN()), func() {}) },
+		"NegativeDelay": func() { s.ScheduleAfter(-1, func() {}) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestPeekTimeSkipsCancelled(t *testing.T) {
+	s := New()
+	tm := s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	tm.Cancel()
+	at, ok := s.PeekTime()
+	if !ok || at != 2 {
+		t.Fatalf("PeekTime = (%v,%v) want (2,true)", at, ok)
+	}
+}
+
+// Property: random schedules always fire in non-decreasing time order and
+// the clock matches the last event fired.
+func TestChronologicalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := mat.NewRNG(seed)
+		s := New()
+		n := 1 + g.Intn(50)
+		times := make([]float64, n)
+		var fired []Time
+		for i := range times {
+			at := g.Float64() * 100
+			times[i] = at
+			s.Schedule(Time(at), func() { fired = append(fired, s.Now()) })
+		}
+		s.RunAll(1000)
+		if len(fired) != n {
+			return false
+		}
+		sort.Float64s(times)
+		for i, ft := range fired {
+			if float64(ft) != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := mat.NewRNG(seed)
+		s := New()
+		n := 1 + g.Intn(40)
+		firedCount := 0
+		timers := make([]*Timer, n)
+		for i := range timers {
+			timers[i] = s.Schedule(Time(g.Float64()*50), func() { firedCount++ })
+		}
+		cancelled := 0
+		for _, tm := range timers {
+			if g.Float64() < 0.5 {
+				tm.Cancel()
+				cancelled++
+			}
+		}
+		s.RunAll(1000)
+		return firedCount == n-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

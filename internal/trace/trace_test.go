@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig(n int) GeneratorConfig {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumJobs = n
+	return cfg
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Job{ID: 0, Arrival: 1, Duration: 60, Req: [3]float64{0.1, 0.1, 0.1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []Job{
+		{ID: 0, Arrival: -1, Duration: 60, Req: [3]float64{0.1, 0.1, 0.1}},
+		{ID: 0, Arrival: 0, Duration: 0, Req: [3]float64{0.1, 0.1, 0.1}},
+		{ID: 0, Arrival: 0, Duration: 60, Req: [3]float64{0, 0.1, 0.1}},
+		{ID: 0, Arrival: 0, Duration: 60, Req: [3]float64{0.1, 1.5, 0.1}},
+	}
+	for i, j := range cases {
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d: invalid job accepted", i)
+		}
+	}
+}
+
+func TestTraceValidateOrdering(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		{ID: 0, Arrival: 5, Duration: 60, Req: [3]float64{0.1, 0.1, 0.1}},
+		{ID: 1, Arrival: 3, Duration: 60, Req: [3]float64{0.1, 0.1, 0.1}},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	tr.Jobs[1].Arrival = 6
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("ordered trace rejected: %v", err)
+	}
+	tr.Jobs[1].ID = 7
+	if err := tr.Validate(); err == nil {
+		t.Fatal("mis-IDed trace accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := MustGenerate(smallConfig(500), 42)
+	b := MustGenerate(smallConfig(500), 42)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between same-seed runs", i)
+		}
+	}
+	c := MustGenerate(smallConfig(500), 43)
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i] != c.Jobs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateRespectsClips(t *testing.T) {
+	cfg := smallConfig(2000)
+	tr := MustGenerate(cfg, 1)
+	for _, j := range tr.Jobs {
+		if j.Duration < cfg.MinDuration || j.Duration > cfg.MaxDuration {
+			t.Fatalf("job %d duration %v outside [%v,%v]",
+				j.ID, j.Duration, cfg.MinDuration, cfg.MaxDuration)
+		}
+		for p, r := range j.Req {
+			if r < cfg.MinReq || r > cfg.MaxReq {
+				t.Fatalf("job %d resource %d demand %v outside [%v,%v]",
+					j.ID, p, r, cfg.MinReq, cfg.MaxReq)
+			}
+		}
+	}
+}
+
+func TestGenerateMarginals(t *testing.T) {
+	// With default calibration a 20k-job sample must land near the
+	// published operating point: inter-arrival ~6.4 s, durations with a
+	// heavy tail under 2 h, small CPU demands.
+	tr := MustGenerate(smallConfig(20000), 7)
+	s := tr.ComputeStats()
+	if s.MeanInterArrive < 3 || s.MeanInterArrive > 10 {
+		t.Fatalf("mean inter-arrival %v outside plausible band", s.MeanInterArrive)
+	}
+	if s.MeanDuration < 500 || s.MeanDuration > 1400 {
+		t.Fatalf("mean duration %v outside plausible band", s.MeanDuration)
+	}
+	if s.P95Duration <= s.MeanDuration {
+		t.Fatalf("duration distribution not right-skewed: p95 %v mean %v",
+			s.P95Duration, s.MeanDuration)
+	}
+	if s.MeanReq[CPU] < 0.02 || s.MeanReq[CPU] > 0.09 {
+		t.Fatalf("mean CPU demand %v outside plausible band", s.MeanReq[CPU])
+	}
+	// Offered CPU load must fit comfortably in a 30-server cluster but be
+	// non-trivial (several servers' worth).
+	if s.OfferedLoad[CPU] < 2 || s.OfferedLoad[CPU] > 15 {
+		t.Fatalf("offered CPU load %v servers outside [2,15]", s.OfferedLoad[CPU])
+	}
+}
+
+func TestGenerateWeekJobCount(t *testing.T) {
+	// The default config should produce ~95k jobs in ~one week of simulated
+	// time; test at 1/10 scale to stay fast.
+	cfg := DefaultGeneratorConfig()
+	cfg.NumJobs = 9500
+	tr := MustGenerate(cfg, 3)
+	span := tr.Span()
+	week := 7.0 * 86400 / 10
+	if span < week*0.6 || span > week*1.6 {
+		t.Fatalf("9500 jobs span %v s, want roughly %v", span, week)
+	}
+}
+
+func TestGenerateDiurnalModulation(t *testing.T) {
+	cfg := smallConfig(40000)
+	cfg.BurstRateFactor = 1 // isolate the diurnal component
+	cfg.DiurnalAmplitude = 0.5
+	tr := MustGenerate(cfg, 11)
+	// With phase -pi/2 the modulation sin(2*pi*t/86400 - pi/2) is negative
+	// for time-of-day in [0, 6h) and (18h, 24h), positive in (6h, 18h).
+	// Compare arrival counts between those windows.
+	var lowWin, highWin int
+	for _, j := range tr.Jobs {
+		tod := math.Mod(j.Arrival, 86400)
+		if tod < 21600 || tod >= 64800 {
+			lowWin++
+		} else {
+			highWin++
+		}
+	}
+	if float64(highWin) < 1.2*float64(lowWin) {
+		t.Fatalf("diurnal pattern absent: low=%d high=%d", lowWin, highWin)
+	}
+}
+
+func TestGenerateBurstsIncreaseVariance(t *testing.T) {
+	base := smallConfig(30000)
+	base.BurstRateFactor = 1
+	bursty := smallConfig(30000)
+	bursty.BurstRateFactor = 6
+	bursty.MeanBurstEvery = 1800
+	bursty.MeanBurstLen = 600
+
+	cv := func(tr *Trace) float64 {
+		var gaps []float64
+		for i := 1; i < tr.Len(); i++ {
+			gaps = append(gaps, tr.Jobs[i].Arrival-tr.Jobs[i-1].Arrival)
+		}
+		var sum, sumSq float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		for _, g := range gaps {
+			d := g - mean
+			sumSq += d * d
+		}
+		return math.Sqrt(sumSq/float64(len(gaps))) / mean
+	}
+	if cv(MustGenerate(bursty, 5)) <= cv(MustGenerate(base, 5)) {
+		t.Fatal("bursty config did not increase inter-arrival variability")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := MustGenerate(smallConfig(300), 9)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round-trip length %d want %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Jobs {
+		if tr.Jobs[i] != back.Jobs[i] {
+			t.Fatalf("job %d changed in round trip:\n  %+v\n  %+v",
+				i, tr.Jobs[i], back.Jobs[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"ShortRow":   "arrival,duration,cpu,mem,disk\n1,2,0.1\n",
+		"BadNumber":  "1,x,0.1,0.1,0.1\n",
+		"OutOfOrder": "5,60,0.1,0.1,0.1\n3,60,0.1,0.1,0.1\n",
+		"BadDemand":  "1,60,2.0,0.1,0.1\n",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsBlankAndHeader(t *testing.T) {
+	data := "arrival,duration,cpu,mem,disk\n\n1,60,0.1,0.2,0.3\n\n2,70,0.1,0.2,0.3\n"
+	tr, err := ReadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("parsed %d jobs want 2", tr.Len())
+	}
+}
+
+func TestSliceRebases(t *testing.T) {
+	tr := MustGenerate(smallConfig(100), 13)
+	sub := tr.Slice(10, 20)
+	if sub.Len() != 10 {
+		t.Fatalf("slice length %d want 10", sub.Len())
+	}
+	if sub.Jobs[0].Arrival != 0 {
+		t.Fatalf("slice not rebased: first arrival %v", sub.Jobs[0].Arrival)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("slice invalid: %v", err)
+	}
+	want := tr.Jobs[15].Arrival - tr.Jobs[10].Arrival
+	if math.Abs(sub.Jobs[5].Arrival-want) > 1e-9 {
+		t.Fatalf("relative arrivals changed: %v want %v", sub.Jobs[5].Arrival, want)
+	}
+}
+
+func TestSliceBoundsPanics(t *testing.T) {
+	tr := MustGenerate(smallConfig(10), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Slice(5, 20)
+}
+
+func TestSegments(t *testing.T) {
+	tr := MustGenerate(smallConfig(103), 17)
+	segs := tr.Segments(10)
+	if len(segs) != 10 {
+		t.Fatalf("got %d segments want 10", len(segs))
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("segment invalid: %v", err)
+		}
+	}
+	if total != 103 {
+		t.Fatalf("segments cover %d jobs want 103", total)
+	}
+	// First 3 segments get the remainder.
+	if segs[0].Len() != 11 || segs[3].Len() != 10 {
+		t.Fatalf("segment sizes: %d, %d", segs[0].Len(), segs[3].Len())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mod := func(f func(*GeneratorConfig)) GeneratorConfig {
+		c := DefaultGeneratorConfig()
+		f(&c)
+		return c
+	}
+	bad := []GeneratorConfig{
+		mod(func(c *GeneratorConfig) { c.NumJobs = 0 }),
+		mod(func(c *GeneratorConfig) { c.BaseRate = 0 }),
+		mod(func(c *GeneratorConfig) { c.DiurnalAmplitude = 1 }),
+		mod(func(c *GeneratorConfig) { c.BurstRateFactor = 0.5 }),
+		mod(func(c *GeneratorConfig) { c.MinDuration = 0 }),
+		mod(func(c *GeneratorConfig) { c.MaxDuration = 1 }),
+		mod(func(c *GeneratorConfig) { c.MemCorrelation = 2 }),
+		mod(func(c *GeneratorConfig) { c.MaxReq = 1.5 }),
+		mod(func(c *GeneratorConfig) { c.MinReq = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := Generate(c, 1); err == nil {
+			t.Errorf("Generate accepted bad config %d", i)
+		}
+	}
+	if err := DefaultGeneratorConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+// Property: any generated trace passes validation and is arrival-ordered.
+func TestGenerateAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := Generate(smallConfig(200), seed)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStatsEmptyAndSingle(t *testing.T) {
+	empty := &Trace{}
+	s := empty.ComputeStats()
+	if s.Jobs != 0 || s.Span != 0 {
+		t.Fatal("empty trace stats wrong")
+	}
+	one := &Trace{Jobs: []Job{{ID: 0, Arrival: 0, Duration: 100, Req: [3]float64{0.1, 0.1, 0.1}}}}
+	s = one.ComputeStats()
+	if s.MeanDuration != 100 || s.Span != 0 {
+		t.Fatalf("single-job stats wrong: %+v", s)
+	}
+}

@@ -1,0 +1,255 @@
+package hierdrl
+
+import (
+	"fmt"
+	"io"
+
+	"hierdrl/internal/cluster"
+	"hierdrl/internal/global"
+	"hierdrl/internal/local"
+	"hierdrl/internal/lstm"
+	"hierdrl/internal/mat"
+	"hierdrl/internal/metrics"
+	"hierdrl/internal/policy"
+	"hierdrl/internal/sim"
+	"hierdrl/internal/trace"
+)
+
+// Run executes one experiment end to end: it builds the cluster, the
+// allocation tier, and one power manager per server; replays the trace
+// event-driven; and returns the measurements. For DRL configurations with a
+// WarmupTrace it first performs the Algorithm 1 offline phase.
+func Run(cfg Config, tr *Trace) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("hierdrl: empty trace")
+	}
+	rng := mat.NewRNG(cfg.Seed)
+
+	var agent *global.Agent
+	if cfg.Alloc == AllocDRL {
+		var err error
+		agent, err = global.NewAgent(cfg.Global, cfg.M, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("hierdrl: global agent: %w", err)
+		}
+		if cfg.WarmupTrace != nil && cfg.WarmupTrace.Len() > 0 {
+			if err := warmup(cfg, agent, rng.Split()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res, err := runPass(cfg, agent, tr, rng.Split(), cfg.CheckpointEvery)
+	if err != nil {
+		return nil, err
+	}
+	if agent != nil {
+		res.AgentDiag = agent.String()
+	}
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.M <= 0 {
+		return fmt.Errorf("hierdrl: M must be positive, got %d", cfg.M)
+	}
+	switch cfg.Alloc {
+	case AllocRoundRobin, AllocRandom, AllocLeastLoaded, AllocPackFit:
+	case AllocDRL:
+		if err := cfg.Global.Validate(cfg.M); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+	default:
+		return fmt.Errorf("hierdrl: unknown allocation policy %q", cfg.Alloc)
+	}
+	switch cfg.DPM {
+	case DPMAlwaysOn, DPMAdHoc:
+	case DPMFixedTimeout:
+		if cfg.FixedTimeoutSec < 0 {
+			return fmt.Errorf("hierdrl: negative fixed timeout %v", cfg.FixedTimeoutSec)
+		}
+	case DPMRL:
+		if err := cfg.LocalRL.Validate(); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		switch cfg.Predictor {
+		case PredictorLSTM, PredictorEWMA, PredictorLastValue, PredictorWindowMean:
+		case "":
+			cfg.Predictor = PredictorLSTM
+		default:
+			return fmt.Errorf("hierdrl: unknown predictor %q", cfg.Predictor)
+		}
+	default:
+		return fmt.Errorf("hierdrl: unknown DPM policy %q", cfg.DPM)
+	}
+	if cfg.Cluster.M == 0 {
+		cfg.Cluster = cluster.DefaultConfig(cfg.M)
+	}
+	if cfg.Cluster.M != cfg.M {
+		return fmt.Errorf("hierdrl: cluster M=%d but config M=%d", cfg.Cluster.M, cfg.M)
+	}
+	if cfg.WarmupEpsilon == 0 {
+		cfg.WarmupEpsilon = 1.0
+	}
+	if cfg.AEPretrainEpochs == 0 {
+		cfg.AEPretrainEpochs = 200
+	}
+	if cfg.OfflineSweeps == 0 {
+		cfg.OfflineSweeps = 200
+	}
+	if cfg.LSTMPredictor.Lookback == 0 {
+		cfg.LSTMPredictor = lstm.DefaultPredictorConfig()
+	}
+	return nil
+}
+
+// warmup runs the Algorithm 1 offline construction phase: a high-epsilon
+// rollout over the warmup trace fills the experience memory and the
+// autoencoder sample buffer; then the autoencoder pretrains on
+// reconstruction and fitted-Q sweeps refine the DNN.
+func warmup(cfg Config, agent *global.Agent, rng *mat.RNG) error {
+	prevEps := agent.Epsilon()
+	agent.SetEpsilon(cfg.WarmupEpsilon)
+	// Algorithm 1 permits an "arbitrary policy and gradually refined
+	// policy" for filling the experience memory; a consolidating heuristic
+	// (pack-fit, with a 20% uniform mix applied inside the agent) exposes
+	// the region of state space the learned policy will actually live in.
+	pf, err := policy.NewPackFit(0.05)
+	if err != nil {
+		return err
+	}
+	agent.SetBehavior(pf.Allocate)
+	defer agent.SetBehavior(nil)
+	if _, err := runPass(cfg, agent, cfg.WarmupTrace, rng, 0); err != nil {
+		return fmt.Errorf("hierdrl: warmup rollout: %w", err)
+	}
+	agent.PretrainAutoencoder(cfg.AEPretrainEpochs)
+	agent.TrainOffline(cfg.OfflineSweeps)
+	eps := cfg.PostWarmupEpsilon
+	if eps <= 0 {
+		eps = prevEps
+	}
+	agent.SetEpsilon(eps)
+	return nil
+}
+
+// buildDPM constructs one server's power manager.
+func buildDPM(cfg Config, rng *mat.RNG) (cluster.DPMPolicy, error) {
+	switch cfg.DPM {
+	case DPMAlwaysOn:
+		return local.AlwaysOn{}, nil
+	case DPMAdHoc:
+		return local.AdHoc{}, nil
+	case DPMFixedTimeout:
+		return local.NewFixedTimeout(cfg.FixedTimeoutSec), nil
+	case DPMRL:
+		var pred local.ArrivalPredictor
+		switch cfg.Predictor {
+		case PredictorLSTM:
+			pred = lstm.NewPredictor(cfg.LSTMPredictor, rng.Split())
+		case PredictorEWMA:
+			pred = local.NewEWMA(0.3)
+		case PredictorLastValue:
+			pred = local.NewLastValue()
+		case PredictorWindowMean:
+			pred = local.NewWindowMean(10)
+		default:
+			return nil, fmt.Errorf("hierdrl: unknown predictor %q", cfg.Predictor)
+		}
+		return local.NewRLTimeout(cfg.LocalRL, pred, rng.Split())
+	default:
+		return nil, fmt.Errorf("hierdrl: unknown DPM policy %q", cfg.DPM)
+	}
+}
+
+// buildAllocator constructs the global tier (agent is non-nil for DRL).
+func buildAllocator(cfg Config, agent *global.Agent, rng *mat.RNG) (policy.Allocator, error) {
+	switch cfg.Alloc {
+	case AllocRoundRobin:
+		return policy.NewRoundRobin(), nil
+	case AllocRandom:
+		return policy.NewRandom(rng.Split()), nil
+	case AllocLeastLoaded:
+		return policy.NewLeastLoaded(), nil
+	case AllocPackFit:
+		return policy.NewPackFit(0.05)
+	case AllocDRL:
+		if agent == nil {
+			return nil, fmt.Errorf("hierdrl: DRL allocation without an agent")
+		}
+		return agent, nil
+	default:
+		return nil, fmt.Errorf("hierdrl: unknown allocation policy %q", cfg.Alloc)
+	}
+}
+
+// runPass simulates one full trace against a fresh cluster. The agent (if
+// any) persists across passes so learning accumulates.
+func runPass(cfg Config, agent *global.Agent, tr *Trace, rng *mat.RNG, checkpointEvery int) (*Result, error) {
+	sm := sim.New()
+	cl, err := cluster.New(cfg.Cluster, sm, func(id int) cluster.DPMPolicy {
+		dpm, dErr := buildDPM(cfg, rng)
+		if dErr != nil {
+			panic(dErr) // cfg was validated; unreachable
+		}
+		return dpm
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hierdrl: cluster: %w", err)
+	}
+	alloc, err := buildAllocator(cfg, agent, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	col := metrics.NewCollector(cl, checkpointEvery)
+	cl.OnJobDone = col.JobDone
+	if agent != nil {
+		cl.OnChange = func(t sim.Time) {
+			agent.ObserveCluster(t, cl.TotalPower(), cl.JobsInSystem(), cl.ReliabilityObj())
+		}
+	}
+
+	for i := range tr.Jobs {
+		tj := tr.Jobs[i]
+		sm.Schedule(sim.Time(tj.Arrival), func() {
+			j := cluster.NewJob(tj)
+			target := alloc.Allocate(j, cl.Snapshot())
+			cl.Submit(j, target)
+		})
+	}
+	// Every job submission spawns a bounded number of follow-up events;
+	// 64 events per job is a generous runaway guard.
+	sm.RunAll(int64(tr.Len())*64 + 1024)
+
+	if agent != nil {
+		agent.FinishEpisode(sm.Now())
+	}
+	if got := cl.Completed(); got != int64(tr.Len()) {
+		return nil, fmt.Errorf("hierdrl: %d of %d jobs completed", got, tr.Len())
+	}
+	cl.InvariantCheck()
+
+	res := &Result{
+		Summary:     col.Summarize(cfg.Name, sm.Now()),
+		Checkpoints: col.Checkpoints(),
+	}
+	for i := 0; i < cl.M(); i++ {
+		res.TotalWakeups += cl.Server(i).Wakeups()
+		res.TotalShutdowns += cl.Server(i).Shutdowns()
+	}
+	return res, nil
+}
+
+// TraceStatsOf summarizes a workload (exposed for examples and tools).
+func TraceStatsOf(tr *Trace) TraceStats { return tr.ComputeStats() }
+
+// ReadTraceCSV parses a trace in the canonical CSV format
+// ("arrival,duration,cpu,mem,disk" rows); real extracted Google traces can
+// be loaded through it unchanged.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteTraceCSV writes a trace in the canonical CSV format.
+func WriteTraceCSV(w io.Writer, tr *Trace) error { return tr.WriteCSV(w) }
