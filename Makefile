@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-full clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the kernel + hot-path micro-benchmarks and records them as
+# BENCH_kernels.json (benchstat-compatible: the "raw" array holds the
+# verbatim benchmark lines). Tracks the perf trajectory across PRs.
+bench:
+	$(GO) test -run=NONE \
+		-bench='BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$' \
+		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	@echo wrote BENCH_kernels.json
+
+# bench-full additionally regenerates the paper tables/figures benchmarks
+# (minutes, not seconds).
+bench-full:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_full.json
+	@echo wrote BENCH_full.json
+
+clean:
+	rm -f BENCH_kernels.json BENCH_full.json

@@ -232,6 +232,61 @@ func BenchmarkLSTMPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulVec measures the tiled GEMV kernel at the Sub-Q head's
+// layer-1 shape (128x64 weight, single sample).
+func BenchmarkMatMulVec(b *testing.B) {
+	rng := mat.NewRNG(1)
+	W := mat.NewDense(128, 64)
+	rng.FillNormal(W, 0, 1)
+	x := mat.NewVec(64)
+	for i := range x {
+		x[i] = rng.Normal(0, 1)
+	}
+	dst := mat.NewVec(128)
+	b.SetBytes(int64(128 * 64 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		W.MulVec(x, dst)
+	}
+}
+
+// BenchmarkMatMulMat measures the batched GEMM path at the target-network
+// evaluation shape (96-row minibatch through the 128x64 layer).
+func BenchmarkMatMulMat(b *testing.B) {
+	rng := mat.NewRNG(1)
+	X := mat.NewDense(96, 64)
+	rng.FillNormal(X, 0, 1)
+	W := mat.NewDense(128, 64)
+	rng.FillNormal(W, 0, 1)
+	Y := mat.NewDense(96, 128)
+	b.SetBytes(int64(96 * 64 * 128 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulMatT(X, W, Y)
+	}
+}
+
+// BenchmarkQNetInferBatch measures the batched target-network evaluation:
+// max-Q for 32 states through all K heads in one forward.
+func BenchmarkQNetInferBatch(b *testing.B) {
+	cfg := global.DefaultConfig(30)
+	enc, err := global.NewEncoder(30, cfg.K, cfg.DurationNormSec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mat.NewRNG(1)
+	net := global.NewQNetwork(enc, cfg, rng)
+	j := &cluster.Job{Duration: 600, Req: cluster.Resources{0.2, 0.1, 0.1}}
+	states := make([]global.State, 32)
+	for i := range states {
+		states[i] = enc.Encode(benchView(30, rng), j)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.MaxQBatch(states)
+	}
+}
+
 // BenchmarkSimulatorEvents measures raw event-queue throughput.
 func BenchmarkSimulatorEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {

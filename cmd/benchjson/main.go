@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON document (stdout) for machine tracking of the perf trajectory across
+// PRs. The raw benchmark lines are preserved verbatim under "raw", so the
+// file stays benchstat-compatible: extract that array (one line each) and
+// feed it to benchstat directly.
+//
+//	go test -run=NONE -bench=. -benchmem | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Raw        []string          `json:"raw"`
+}
+
+func main() {
+	out := Output{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "goos:"),
+			strings.HasPrefix(trimmed, "goarch:"),
+			strings.HasPrefix(trimmed, "pkg:"),
+			strings.HasPrefix(trimmed, "cpu:"):
+			out.Raw = append(out.Raw, line)
+			parts := strings.SplitN(trimmed, ":", 2)
+			out.Context[parts[0]] = strings.TrimSpace(parts[1])
+		case strings.HasPrefix(trimmed, "Benchmark"):
+			out.Raw = append(out.Raw, line)
+			if b, ok := parseBench(trimmed); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses "BenchmarkName-8  10  123 ns/op  4 B/op  2 allocs/op
+// 1.5 some_metric" into a Benchmark.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		case "MB/s":
+			b.MBPerSec = &v
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

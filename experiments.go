@@ -70,6 +70,11 @@ func (c *Comparison) Rows() []Summary {
 // RunComparison executes the paper's three systems on the same workload with
 // M servers — the engine behind Table I (checkpointEvery = 0) and the
 // Fig. 8/9 accumulated series (checkpointEvery > 0).
+//
+// The three systems run concurrently through a bounded worker pool. Every
+// run derives its entire RNG chain from its own config seed and shares only
+// the immutable trace, so the results are identical (bitwise) to running
+// them sequentially.
 func RunComparison(m int, sc Scale, checkpointEvery int) (*Comparison, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -77,32 +82,47 @@ func RunComparison(m int, sc Scale, checkpointEvery int) (*Comparison, error) {
 	tr := sc.trace(0)
 	warm := sc.warmupTrace(0)
 
-	rrCfg := RoundRobin(m)
-	rrCfg.Seed = sc.Seed
-	rrCfg.CheckpointEvery = checkpointEvery
-	rr, err := Run(rrCfg, tr)
-	if err != nil {
-		return nil, fmt.Errorf("hierdrl: round-robin: %w", err)
+	cmp := &Comparison{}
+	if err := runParallel([]func() error{
+		func() error {
+			cfg := RoundRobin(m)
+			cfg.Seed = sc.Seed
+			cfg.CheckpointEvery = checkpointEvery
+			res, err := Run(cfg, tr)
+			if err != nil {
+				return fmt.Errorf("hierdrl: round-robin: %w", err)
+			}
+			cmp.RoundRobin = res
+			return nil
+		},
+		func() error {
+			cfg := DRLOnly(m)
+			cfg.Seed = sc.Seed
+			cfg.CheckpointEvery = checkpointEvery
+			cfg.WarmupTrace = warm
+			res, err := Run(cfg, tr)
+			if err != nil {
+				return fmt.Errorf("hierdrl: drl-only: %w", err)
+			}
+			cmp.DRLOnly = res
+			return nil
+		},
+		func() error {
+			cfg := Hierarchical(m)
+			cfg.Seed = sc.Seed
+			cfg.CheckpointEvery = checkpointEvery
+			cfg.WarmupTrace = warm
+			res, err := Run(cfg, tr)
+			if err != nil {
+				return fmt.Errorf("hierdrl: hierarchical: %w", err)
+			}
+			cmp.Hierarchical = res
+			return nil
+		},
+	}); err != nil {
+		return nil, err
 	}
-
-	drlCfg := DRLOnly(m)
-	drlCfg.Seed = sc.Seed
-	drlCfg.CheckpointEvery = checkpointEvery
-	drlCfg.WarmupTrace = warm
-	drl, err := Run(drlCfg, tr)
-	if err != nil {
-		return nil, fmt.Errorf("hierdrl: drl-only: %w", err)
-	}
-
-	hierCfg := Hierarchical(m)
-	hierCfg.Seed = sc.Seed
-	hierCfg.CheckpointEvery = checkpointEvery
-	hierCfg.WarmupTrace = warm
-	hier, err := Run(hierCfg, tr)
-	if err != nil {
-		return nil, fmt.Errorf("hierdrl: hierarchical: %w", err)
-	}
-	return &Comparison{RoundRobin: rr, DRLOnly: drl, Hierarchical: hier}, nil
+	return cmp, nil
 }
 
 // TradeoffCurves holds the Fig. 10 study: one point series per system.
@@ -131,46 +151,65 @@ func RunTradeoff(m int, sc Scale, lambdas []float64) (*TradeoffCurves, error) {
 	if len(lambdas) == 0 {
 		return nil, fmt.Errorf("hierdrl: empty lambda sweep")
 	}
-	tr := sc.trace(0)
-	warm := sc.warmupTrace(0)
-	out := &TradeoffCurves{}
-
 	for _, lam := range lambdas {
 		if lam <= 0 || lam >= 1 {
 			return nil, fmt.Errorf("hierdrl: lambda %v outside (0,1)", lam)
 		}
+	}
+	tr := sc.trace(0)
+	warm := sc.warmupTrace(0)
+
+	// The whole sweep — every (lambda, system) pair — fans out across the
+	// worker pool. Results land in per-index slots so the assembled curves
+	// keep the sequential ordering (and, since every run's RNG chain is
+	// derived from its own config, the sequential values).
+	timeouts := []float64{30, 60, 90}
+	perLam := 1 + len(timeouts)
+	points := make([]TradeoffPoint, len(lambdas)*perLam)
+	tasks := make([]func() error, 0, len(points))
+	for li, lam := range lambdas {
+		li, lam := li, lam
 		apply := func(cfg *Config) {
 			cfg.Seed = sc.Seed
 			cfg.WarmupTrace = warm
 			cfg.Global.W1 = 2 * (1 - lam)
 			cfg.Global.W2 = 2 * lam
 		}
-
-		hier := Hierarchical(m)
-		apply(&hier)
-		hier.LocalRL.PowerWeight = 1 - lam
-		res, err := Run(hier, tr)
-		if err != nil {
-			return nil, fmt.Errorf("hierdrl: tradeoff hierarchical lambda=%v: %w", lam, err)
-		}
-		out.Hierarchical = append(out.Hierarchical, res.Tradeoff("hierarchical", lam))
-
-		for _, fx := range []struct {
-			timeout float64
-			dst     *[]TradeoffPoint
-		}{
-			{30, &out.Fixed30}, {60, &out.Fixed60}, {90, &out.Fixed90},
-		} {
-			cfg := FixedTimeoutBaseline(m, fx.timeout)
+		tasks = append(tasks, func() error {
+			cfg := Hierarchical(m)
 			apply(&cfg)
+			cfg.LocalRL.PowerWeight = 1 - lam
 			res, err := Run(cfg, tr)
 			if err != nil {
-				return nil, fmt.Errorf("hierdrl: tradeoff fixed-%v lambda=%v: %w",
-					fx.timeout, lam, err)
+				return fmt.Errorf("hierdrl: tradeoff hierarchical lambda=%v: %w", lam, err)
 			}
-			*fx.dst = append(*fx.dst,
-				res.Tradeoff(fmt.Sprintf("fixed-%.0f", fx.timeout), lam))
+			points[li*perLam] = res.Tradeoff("hierarchical", lam)
+			return nil
+		})
+		for ti, timeout := range timeouts {
+			ti, timeout := ti, timeout
+			tasks = append(tasks, func() error {
+				cfg := FixedTimeoutBaseline(m, timeout)
+				apply(&cfg)
+				res, err := Run(cfg, tr)
+				if err != nil {
+					return fmt.Errorf("hierdrl: tradeoff fixed-%v lambda=%v: %w",
+						timeout, lam, err)
+				}
+				points[li*perLam+1+ti] = res.Tradeoff(fmt.Sprintf("fixed-%.0f", timeout), lam)
+				return nil
+			})
 		}
+	}
+	if err := runParallel(tasks); err != nil {
+		return nil, err
+	}
+	out := &TradeoffCurves{}
+	for li := range lambdas {
+		out.Hierarchical = append(out.Hierarchical, points[li*perLam])
+		out.Fixed30 = append(out.Fixed30, points[li*perLam+1])
+		out.Fixed60 = append(out.Fixed60, points[li*perLam+2])
+		out.Fixed90 = append(out.Fixed90, points[li*perLam+3])
 	}
 	return out, nil
 }

@@ -1,0 +1,3 @@
+module hierdrl
+
+go 1.22

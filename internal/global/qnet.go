@@ -18,17 +18,31 @@ import (
 // Two ablation switches mirror Sec. V-A's design claims: UseAutoencoder=false
 // feeds raw remote state to the heads; ShareWeights=false trains K
 // independent autoencoders and heads.
+//
+// Compute model: in the (default) weight-sharing configuration every
+// inference and training call collapses to batched GEMMs — all K heads (and
+// all remote-group encodes) of a state are evaluated as one matrix-matrix
+// product, and TrainBatch pushes the whole minibatch through the network in
+// one shot. The batched paths are bitwise identical to the per-sample
+// reference paths (see internal/mat kernel ordering contract), which the
+// qnet batch tests assert.
 type QNetwork struct {
 	enc   *Encoder
 	cfg   Config
 	aes   []*nn.Autoencoder // len 1 when shared, K otherwise
 	subs  []*nn.MLP         // len 1 when shared, K otherwise
 	codeD int               // per-remote-group feature width fed to Sub-Q
+
+	// ws is the scratch arena for the inference fast paths. A QNetwork is
+	// not safe for concurrent use; concurrent experiment runs each own
+	// their networks.
+	ws        *mat.Workspace
+	remoteBuf []mat.Vec
 }
 
 // NewQNetwork builds the network for the given encoder and config.
 func NewQNetwork(enc *Encoder, cfg Config, rng *mat.RNG) *QNetwork {
-	n := &QNetwork{enc: enc, cfg: cfg}
+	n := &QNetwork{enc: enc, cfg: cfg, ws: mat.NewWorkspace()}
 	codeDim := cfg.AEHidden[len(cfg.AEHidden)-1]
 	if cfg.UseAutoencoder {
 		n.codeD = codeDim
@@ -57,7 +71,13 @@ func NewQNetwork(enc *Encoder, cfg Config, rng *mat.RNG) *QNetwork {
 		}
 		n.subs = append(n.subs, nn.NewMLP(sizes, acts, rng))
 	}
+	n.remoteBuf = make([]mat.Vec, enc.K())
 	return n
+}
+
+// inDim is the Sub-Q head input width.
+func (n *QNetwork) inDim() int {
+	return n.enc.GroupDim() + n.enc.JobDim() + (n.enc.K()-1)*n.codeD
 }
 
 func (n *QNetwork) aeFor(k int) *nn.Autoencoder {
@@ -96,38 +116,168 @@ func (n *QNetwork) headInput(k int, s State, remote []mat.Vec) mat.Vec {
 	return mat.Concat(parts...)
 }
 
+// fillHeadInput writes the Sub-Q input for group k into dst (layout
+// [g_k | job | remote features in ascending k' order], identical to
+// headInput).
+func (n *QNetwork) fillHeadInput(dst mat.Vec, k int, s State, remote []mat.Vec) {
+	gd := n.enc.GroupDim()
+	jd := n.enc.JobDim()
+	copy(dst[:gd], s.Groups[k])
+	copy(dst[gd:gd+jd], s.Job)
+	off := gd + jd
+	for kp := 0; kp < n.enc.K(); kp++ {
+		if kp == k {
+			continue
+		}
+		copy(dst[off:off+n.codeD], remote[kp])
+		off += n.codeD
+	}
+}
+
 // duel converts a raw head output [V, A_1..A_G] into Q values
 // Q_o = V + A_o - mean(A).
 func duel(raw mat.Vec) mat.Vec {
+	q := mat.NewVec(len(raw) - 1)
+	duelInto(raw, q)
+	return q
+}
+
+// duelInto is duel writing into a caller-owned slice of length len(raw)-1.
+func duelInto(raw, q mat.Vec) {
 	v := raw[0]
 	adv := raw[1:]
 	meanA := mat.Vec(adv).Mean()
-	q := mat.NewVec(len(adv))
 	for o, a := range adv {
 		q[o] = v + a - meanA
 	}
-	return q
+}
+
+// remoteFeaturesWS computes the remote-group features of s into the reused
+// remoteBuf, batching the shared-encoder case into one GEMM.
+func (n *QNetwork) remoteFeaturesWS(ws *mat.Workspace, s State) []mat.Vec {
+	K := n.enc.K()
+	remote := n.remoteBuf
+	switch {
+	case !n.cfg.UseAutoencoder:
+		for k := 0; k < K; k++ {
+			remote[k] = s.Groups[k]
+		}
+	case n.cfg.ShareWeights:
+		X := ws.TakeMatUninit(K, n.enc.GroupDim())
+		for k := 0; k < K; k++ {
+			X.Row(k).CopyFrom(s.Groups[k])
+		}
+		codes := n.aes[0].Enc.InferBatchWS(ws, X)
+		for k := 0; k < K; k++ {
+			remote[k] = codes.Row(k)
+		}
+	default:
+		for k := 0; k < K; k++ {
+			remote[k] = n.aes[k].Enc.InferWS(ws, s.Groups[k])
+		}
+	}
+	return remote
 }
 
 // QValues performs inference for every action: a vector of M Q-value
 // estimates, one per server.
 func (n *QNetwork) QValues(s State) mat.Vec {
-	remote := make([]mat.Vec, n.enc.K())
-	for k := 0; k < n.enc.K(); k++ {
-		remote[k] = n.remoteFeature(k, s.Groups[k])
-	}
 	out := mat.NewVec(n.enc.M())
-	for k := 0; k < n.enc.K(); k++ {
-		q := duel(n.subFor(k).Infer(n.headInput(k, s, remote)))
-		copy(out[k*n.enc.GroupSize():(k+1)*n.enc.GroupSize()], q)
-	}
+	n.QValuesInto(s, out)
 	return out
+}
+
+// QValuesInto computes QValues into a caller-owned vector of length M. With
+// weight sharing, all K Sub-Q heads (and all K remote encodes) evaluate as
+// one batched forward; apart from the caller's out vector the call is
+// allocation-free at steady state.
+func (n *QNetwork) QValuesInto(s State, out mat.Vec) {
+	if len(out) != n.enc.M() {
+		panic(fmt.Sprintf("global: QValuesInto dst length %d want %d", len(out), n.enc.M()))
+	}
+	K := n.enc.K()
+	G := n.enc.GroupSize()
+	ws := n.ws
+	ws.Reset()
+	remote := n.remoteFeaturesWS(ws, s)
+	if n.cfg.ShareWeights {
+		in := ws.TakeMatUninit(K, n.inDim())
+		for k := 0; k < K; k++ {
+			n.fillHeadInput(in.Row(k), k, s, remote)
+		}
+		raw := n.subs[0].InferBatchWS(ws, in)
+		for k := 0; k < K; k++ {
+			duelInto(raw.Row(k), out[k*G:(k+1)*G])
+		}
+		return
+	}
+	for k := 0; k < K; k++ {
+		in := ws.TakeUninit(n.inDim())
+		n.fillHeadInput(in, k, s, remote)
+		raw := n.subs[k].InferWS(ws, in)
+		duelInto(raw, out[k*G:(k+1)*G])
+	}
 }
 
 // Best returns the greedy action and its value.
 func (n *QNetwork) Best(s State) (action int, value float64) {
 	q := n.QValues(s)
 	return q.Max()
+}
+
+// MaxQBatch returns max_a Q(s, a) for every state, batching all states and
+// all heads through one forward pass in the weight-sharing configuration.
+// Each value is bitwise identical to QValues(s).Max().
+func (n *QNetwork) MaxQBatch(states []State) []float64 {
+	vals := make([]float64, len(states))
+	if len(states) == 0 {
+		return vals
+	}
+	if !n.cfg.ShareWeights {
+		for i, s := range states {
+			_, vals[i] = n.Best(s)
+		}
+		return vals
+	}
+	K := n.enc.K()
+	G := n.enc.GroupSize()
+	gd := n.enc.GroupDim()
+	ws := n.ws
+	ws.Reset()
+	R := len(states) * K
+	var codes *mat.Dense
+	if n.cfg.UseAutoencoder {
+		X := ws.TakeMatUninit(R, gd)
+		for i, s := range states {
+			for k := 0; k < K; k++ {
+				X.Row(i*K + k).CopyFrom(s.Groups[k])
+			}
+		}
+		codes = n.aes[0].Enc.InferBatchWS(ws, X)
+	}
+	in := ws.TakeMatUninit(R, n.inDim())
+	remote := n.remoteBuf
+	for i, s := range states {
+		for k := 0; k < K; k++ {
+			if n.cfg.UseAutoencoder {
+				remote[k] = codes.Row(i*K + k)
+			} else {
+				remote[k] = s.Groups[k]
+			}
+		}
+		for k := 0; k < K; k++ {
+			n.fillHeadInput(in.Row(i*K+k), k, s, remote)
+		}
+	}
+	raw := n.subs[0].InferBatchWS(ws, in)
+	out := ws.TakeUninit(n.enc.M())
+	for i := range states {
+		for k := 0; k < K; k++ {
+			duelInto(raw.Row(i*K+k), out[k*G:(k+1)*G])
+		}
+		_, vals[i] = out.Max()
+	}
+	return vals
 }
 
 // Q returns the value estimate of one (state, action) pair.
@@ -152,7 +302,10 @@ type TrainItem struct {
 
 // TrainBatch runs one optimizer step on a minibatch, backpropagating through
 // the chosen head and (when autoencoders are enabled) through the encoders
-// of the remote groups. It returns the mean squared error.
+// of the remote groups. It returns the mean squared error. With weight
+// sharing the whole minibatch flows through the encoder and the Sub-Q head
+// as batched GEMMs; the resulting gradients (and therefore weights) are
+// bitwise identical to the per-sample accumulation path.
 func (n *QNetwork) TrainBatch(batch []TrainItem, opt nn.Optimizer) float64 {
 	if len(batch) == 0 {
 		return 0
@@ -161,18 +314,143 @@ func (n *QNetwork) TrainBatch(batch []TrainItem, opt nn.Optimizer) float64 {
 	nn.ZeroGrads(params)
 	scale := 1 / float64(len(batch))
 	var total float64
-	for _, item := range batch {
-		total += n.accumulate(item, scale)
+	if n.cfg.ShareWeights {
+		total = n.accumulateBatch(batch, scale)
+	} else {
+		for _, item := range batch {
+			total += n.accumulate(item, scale)
+		}
 	}
 	if n.cfg.ClipNorm > 0 {
 		nn.ClipGrads(params, n.cfg.ClipNorm)
 	}
 	opt.Step(params)
+	n.InvalidateTransposes()
 	return total / float64(len(batch))
 }
 
+// InvalidateTransposes marks all cached layer transposes stale. TrainBatch
+// calls it after every optimizer step; callers mutating weights directly
+// (e.g. snapshot restores) must call it themselves.
+func (n *QNetwork) InvalidateTransposes() {
+	for _, ae := range n.aes {
+		ae.Enc.InvalidateTransposes()
+		ae.Dec.InvalidateTransposes()
+	}
+	for _, sub := range n.subs {
+		sub.InvalidateTransposes()
+	}
+}
+
+// accumulateBatch adds the whole minibatch's gradient contribution through
+// the batched forward/backward path (weight sharing only) and returns the
+// summed squared error. Row ordering everywhere is sample-major with remote
+// groups ascending, which makes every parameter tensor receive per-sample
+// contributions in exactly the order the per-sample path would produce.
+func (n *QNetwork) accumulateBatch(batch []TrainItem, scale float64) float64 {
+	B := len(batch)
+	K := n.enc.K()
+	G := n.enc.GroupSize()
+	gd := n.enc.GroupDim()
+	jd := n.enc.JobDim()
+
+	// All scratch (inputs, activations, gradients) comes from the arena;
+	// nothing here survives the call, and no inference runs concurrently,
+	// so the whole training step is allocation-light.
+	ws := n.ws
+	ws.Reset()
+
+	var codes *mat.Dense
+	var aeBack func(*mat.Dense) *mat.Dense
+	if n.cfg.UseAutoencoder {
+		AEin := ws.TakeMatUninit(B*(K-1), gd)
+		idx := 0
+		for _, item := range batch {
+			k := n.enc.GroupOf(item.Action)
+			for kp := 0; kp < K; kp++ {
+				if kp == k {
+					continue
+				}
+				AEin.Row(idx).CopyFrom(item.S.Groups[kp])
+				idx++
+			}
+		}
+		// The encoder is the graph's input layer: nothing consumes dL/dX.
+		codes, aeBack = n.aes[0].Enc.ForwardBatchWS(ws, AEin, false)
+	}
+
+	in := ws.TakeMatUninit(B, n.inDim())
+	remote := n.remoteBuf
+	idx := 0
+	for b, item := range batch {
+		k := n.enc.GroupOf(item.Action)
+		for kp := 0; kp < K; kp++ {
+			if kp == k {
+				continue
+			}
+			if n.cfg.UseAutoencoder {
+				remote[kp] = codes.Row(idx)
+				idx++
+			} else {
+				remote[kp] = item.S.Groups[kp]
+			}
+		}
+		n.fillHeadInput(in.Row(b), k, item.S, remote)
+	}
+	raw, subBack := n.subs[0].ForwardBatchWS(ws, in, n.cfg.UseAutoencoder)
+
+	dOut := ws.TakeMatUninit(B, G+1)
+	gs := float64(G)
+	var total float64
+	for b, item := range batch {
+		o := n.enc.OffsetOf(item.Action)
+		rawRow := raw.Row(b)
+		v := rawRow[0]
+		adv := mat.Vec(rawRow[1:])
+		meanA := adv.Mean()
+		q := v + adv[o] - meanA
+		err := q - item.Target
+		total += err * err
+		g := 2 * err * scale
+		// Backprop through the dueling combination: dQ_o/dV = 1,
+		// dQ_o/dA_{o'} = delta_{o o'} - 1/G.
+		dRow := dOut.Row(b)
+		dRow[0] = g
+		for op := 0; op < G; op++ {
+			if op == o {
+				dRow[1+op] = g * (1 - 1/gs)
+			} else {
+				dRow[1+op] = g * (-1 / gs)
+			}
+		}
+	}
+	dIn := subBack(dOut)
+
+	if n.cfg.UseAutoencoder {
+		dCodes := ws.TakeMatUninit(B*(K-1), n.codeD)
+		base := gd + jd
+		idx := 0
+		for b, item := range batch {
+			k := n.enc.GroupOf(item.Action)
+			seg := 0
+			dRow := dIn.Row(b)
+			for kp := 0; kp < K; kp++ {
+				if kp == k {
+					continue
+				}
+				copy(dCodes.Row(idx), dRow[base+seg*n.codeD:base+(seg+1)*n.codeD])
+				idx++
+				seg++
+			}
+		}
+		aeBack(dCodes)
+	}
+	return total
+}
+
 // accumulate adds one item's gradient contribution (scaled) and returns its
-// squared error.
+// squared error. This is the per-sample reference path: the batched path
+// must (and is tested to) reproduce it bitwise.
 func (n *QNetwork) accumulate(item TrainItem, scale float64) float64 {
 	k := n.enc.GroupOf(item.Action)
 	o := n.enc.OffsetOf(item.Action)
@@ -230,7 +508,8 @@ func (n *QNetwork) accumulate(item TrainItem, scale float64) float64 {
 // PretrainAutoencoder trains the autoencoder(s) on group-state samples with
 // the reconstruction objective (the offline representation-learning phase).
 // It returns the final epoch's mean loss; it is a no-op (returning 0) when
-// the autoencoder path is disabled.
+// the autoencoder path is disabled. Each epoch's minibatch runs through the
+// batched autoencoder trainer.
 func (n *QNetwork) PretrainAutoencoder(samples []mat.Vec, epochs, batchSize int, lr float64, rng *mat.RNG) float64 {
 	if !n.cfg.UseAutoencoder || len(samples) == 0 {
 		return 0

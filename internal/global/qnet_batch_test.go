@@ -1,0 +1,183 @@
+package global
+
+import (
+	"testing"
+
+	"hierdrl/internal/mat"
+	"hierdrl/internal/nn"
+)
+
+// refQValues replicates the seed's per-sample QValues path: remote features
+// via per-group encoder inference, one per-head forward, dueling combine.
+func refQValues(n *QNetwork, s State) mat.Vec {
+	remote := make([]mat.Vec, n.enc.K())
+	for k := 0; k < n.enc.K(); k++ {
+		remote[k] = n.remoteFeature(k, s.Groups[k])
+	}
+	out := mat.NewVec(n.enc.M())
+	for k := 0; k < n.enc.K(); k++ {
+		q := duel(n.subFor(k).Infer(n.headInput(k, s, remote)))
+		copy(out[k*n.enc.GroupSize():(k+1)*n.enc.GroupSize()], q)
+	}
+	return out
+}
+
+func randState(enc *Encoder, rng *mat.RNG) State {
+	s := State{Groups: make([]mat.Vec, enc.K()), Job: mat.NewVec(enc.JobDim())}
+	for k := range s.Groups {
+		s.Groups[k] = mat.NewVec(enc.GroupDim())
+		for i := range s.Groups[k] {
+			s.Groups[k][i] = rng.Float64() * 2
+		}
+	}
+	for i := range s.Job {
+		s.Job[i] = rng.Float64()
+	}
+	return s
+}
+
+func qnetVariants() []Config {
+	base := DefaultConfig(12)
+	base.K = 3
+	base.AEHidden = []int{8, 4}
+	base.SubQHidden = 16
+	variants := make([]Config, 0, 4)
+	for _, share := range []bool{true, false} {
+		for _, useAE := range []bool{true, false} {
+			cfg := base
+			cfg.ShareWeights = share
+			cfg.UseAutoencoder = useAE
+			variants = append(variants, cfg)
+		}
+	}
+	return variants
+}
+
+func TestQValuesMatchesPerSampleReference(t *testing.T) {
+	for _, cfg := range qnetVariants() {
+		enc, err := NewEncoder(12, cfg.K, cfg.DurationNormSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := NewQNetwork(enc, cfg, mat.NewRNG(3))
+		rng := mat.NewRNG(17)
+		for trial := 0; trial < 10; trial++ {
+			s := randState(enc, rng)
+			got := net.QValues(s)
+			want := refQValues(net, s)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("share=%v ae=%v trial=%d: QValues[%d]=%v want %v",
+						cfg.ShareWeights, cfg.UseAutoencoder, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMaxQBatchMatchesBest(t *testing.T) {
+	for _, cfg := range qnetVariants() {
+		enc, err := NewEncoder(12, cfg.K, cfg.DurationNormSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := NewQNetwork(enc, cfg, mat.NewRNG(5))
+		rng := mat.NewRNG(23)
+		states := make([]State, 9)
+		for i := range states {
+			states[i] = randState(enc, rng)
+		}
+		vals := net.MaxQBatch(states)
+		for i, s := range states {
+			_, want := net.Best(s)
+			if vals[i] != want {
+				t.Fatalf("share=%v ae=%v state %d: MaxQBatch=%v Best=%v",
+					cfg.ShareWeights, cfg.UseAutoencoder, i, vals[i], want)
+			}
+		}
+		if len(net.MaxQBatch(nil)) != 0 {
+			t.Fatal("MaxQBatch(nil) not empty")
+		}
+	}
+}
+
+// refTrainBatch replicates the seed's per-sample TrainBatch loop.
+func refTrainBatch(n *QNetwork, batch []TrainItem, opt nn.Optimizer) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	params := n.Params()
+	nn.ZeroGrads(params)
+	scale := 1 / float64(len(batch))
+	var total float64
+	for _, item := range batch {
+		total += n.accumulate(item, scale)
+	}
+	if n.cfg.ClipNorm > 0 {
+		nn.ClipGrads(params, n.cfg.ClipNorm)
+	}
+	opt.Step(params)
+	return total / float64(len(batch))
+}
+
+func TestTrainBatchMatchesPerSampleReference(t *testing.T) {
+	for _, cfg := range qnetVariants() {
+		for _, B := range []int{1, 2, 5, 16} {
+			enc, err := NewEncoder(12, cfg.K, cfg.DurationNormSec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			netA := NewQNetwork(enc, cfg, mat.NewRNG(9))
+			netB := NewQNetwork(enc, cfg, mat.NewRNG(9))
+			optA := nn.NewAdam(1e-3)
+			optB := nn.NewAdam(1e-3)
+			rng := mat.NewRNG(int64(31 + B))
+			for step := 0; step < 3; step++ {
+				batch := make([]TrainItem, B)
+				for b := range batch {
+					batch[b] = TrainItem{
+						S:      randState(enc, rng),
+						Action: rng.Intn(12),
+						Target: rng.Normal(0, 1),
+					}
+				}
+				lA := netA.TrainBatch(batch, optA)
+				lB := refTrainBatch(netB, batch, optB)
+				if lA != lB {
+					t.Fatalf("share=%v ae=%v B=%d step=%d: loss %v != reference %v",
+						cfg.ShareWeights, cfg.UseAutoencoder, B, step, lA, lB)
+				}
+			}
+			psA, psB := netA.Params(), netB.Params()
+			for i := range psA {
+				for j := range psA[i].Val {
+					if psA[i].Val[j] != psB[i].Val[j] {
+						t.Fatalf("share=%v ae=%v B=%d: weights diverge at %s[%d]",
+							cfg.ShareWeights, cfg.UseAutoencoder, B, psA[i].Name, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQValuesIntoSteadyStateZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.K = 3
+	cfg.AEHidden = []int{8, 4}
+	cfg.SubQHidden = 16
+	enc, err := NewEncoder(12, cfg.K, cfg.DurationNormSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewQNetwork(enc, cfg, mat.NewRNG(2))
+	s := randState(enc, mat.NewRNG(4))
+	out := mat.NewVec(enc.M())
+	net.QValuesInto(s, out) // prime the arena
+	allocs := testing.AllocsPerRun(100, func() {
+		net.QValuesInto(s, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state QValuesInto allocates %v per run, want 0", allocs)
+	}
+}

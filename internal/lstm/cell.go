@@ -126,6 +126,57 @@ func (c *Cell) Step(x mat.Vec, prev State) (State, StepBack) {
 	return State{H: hNew, C: cNew}, back
 }
 
+// InferBuf holds the reusable gate buffers for inference-only stepping.
+// One buffer set serves an entire Predict recurrence: the gates are
+// recomputed every step, so the same five vectors are overwritten 35 times
+// instead of being reallocated 35 times.
+type InferBuf struct {
+	z, f, i, g, o mat.Vec
+}
+
+// NewInferBuf allocates gate buffers matching the cell's dimensions.
+func (c *Cell) NewInferBuf() *InferBuf {
+	return &InferBuf{
+		z: mat.NewVec(c.In + c.Hidden),
+		f: mat.NewVec(c.Hidden),
+		i: mat.NewVec(c.Hidden),
+		g: mat.NewVec(c.Hidden),
+		o: mat.NewVec(c.Hidden),
+	}
+}
+
+// StepInfer advances the recurrence one step without capturing backprop
+// state, writing the new state into next. prev and next may be the same
+// State (in-place stepping); buf is overwritten. The arithmetic is
+// identical to Step, so the resulting state matches bitwise.
+func (c *Cell) StepInfer(x mat.Vec, prev, next State, buf *InferBuf) {
+	if len(x) != c.In {
+		panic(fmt.Sprintf("lstm: StepInfer input length %d want %d", len(x), c.In))
+	}
+	copy(buf.z[:c.In], x)
+	copy(buf.z[c.In:], prev.H)
+
+	c.forget.InferFast(buf.z, buf.f)
+	c.input.InferFast(buf.z, buf.i)
+	c.cand.InferFast(buf.z, buf.g)
+	c.output.InferFast(buf.z, buf.o)
+
+	for k := 0; k < c.Hidden; k++ {
+		cNew := buf.f[k]*prev.C[k] + buf.i[k]*buf.g[k]
+		next.C[k] = cNew
+		next.H[k] = buf.o[k] * math.Tanh(cNew)
+	}
+}
+
+// InvalidateTransposes marks the gates' cached weight transposes stale;
+// call after mutating gate weights through Params.
+func (c *Cell) InvalidateTransposes() {
+	c.forget.InvalidateTranspose()
+	c.input.InvalidateTranspose()
+	c.cand.InvalidateTranspose()
+	c.output.InvalidateTranspose()
+}
+
 // Params enumerates all gate parameters.
 func (c *Cell) Params() []nn.Param {
 	var ps []nn.Param

@@ -1,0 +1,63 @@
+package lstm
+
+import (
+	"testing"
+
+	"hierdrl/internal/mat"
+)
+
+func TestStepInferMatchesStep(t *testing.T) {
+	rng := mat.NewRNG(3)
+	c := NewCell(4, 12, rng)
+	buf := c.NewInferBuf()
+	ref := c.NewState()
+	fast := c.NewState()
+	gen := mat.NewRNG(5)
+	for step := 0; step < 10; step++ {
+		x := mat.NewVec(4)
+		for i := range x {
+			x[i] = gen.Normal(0, 1)
+		}
+		ref, _ = c.Step(x, ref)
+		c.StepInfer(x, fast, fast, buf)
+		for k := 0; k < c.Hidden; k++ {
+			if ref.H[k] != fast.H[k] || ref.C[k] != fast.C[k] {
+				t.Fatalf("step %d unit %d: StepInfer diverges from Step (H %v vs %v, C %v vs %v)",
+					step, k, fast.H[k], ref.H[k], fast.C[k], ref.C[k])
+			}
+		}
+	}
+}
+
+// refPredict replicates the seed's allocating Predict loop.
+func refPredict(n *Network, window []float64) float64 {
+	st := n.cell.NewState()
+	xIn := mat.NewVec(1)
+	cellIn := mat.NewVec(n.cfg.CellIn)
+	for _, v := range window {
+		xIn[0] = v
+		n.in.Infer(xIn, cellIn)
+		st, _ = n.cell.Step(cellIn, st)
+	}
+	out := mat.NewVec(1)
+	n.out.Infer(st.H, out)
+	return out[0]
+}
+
+func TestPredictMatchesReferenceAndIsZeroAlloc(t *testing.T) {
+	rng := mat.NewRNG(7)
+	net := NewNetwork(DefaultNetworkConfig(), rng)
+	gen := mat.NewRNG(9)
+	window := make([]float64, 35)
+	for i := range window {
+		window[i] = gen.Normal(0, 1)
+	}
+	want := refPredict(net, window)
+	if got := net.Predict(window); got != want {
+		t.Fatalf("Predict %v != reference %v", got, want)
+	}
+	allocs := testing.AllocsPerRun(50, func() { net.Predict(window) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Predict allocates %v per run, want 0", allocs)
+	}
+}

@@ -35,6 +35,16 @@ type Network struct {
 	in   *nn.Dense // 1 -> CellIn, tanh ("input hidden layer")
 	cell *Cell     // CellIn -> Hidden
 	out  *nn.Dense // Hidden -> 1, linear ("output hidden layer")
+
+	// Reusable inference scratch: Predict steps the same state and gate
+	// buffers through the window instead of allocating per step. Lazily
+	// built; a Network is not safe for concurrent use (each server's
+	// predictor owns its own).
+	inferBuf   *InferBuf
+	inferState State
+	xIn        mat.Vec
+	cellIn     mat.Vec
+	outBuf     mat.Vec
 }
 
 // NewNetwork builds the network described by cfg.
@@ -58,19 +68,27 @@ func NewNetwork(cfg NetworkConfig, rng *mat.RNG) *Network {
 }
 
 // Predict runs the window through the recurrence and returns the model's
-// estimate of the next value. No backprop state is captured.
+// estimate of the next value. No backprop state is captured; all scratch
+// (state, gate buffers) is reused across steps and across calls, so
+// steady-state prediction is allocation-free.
 func (n *Network) Predict(window []float64) float64 {
-	st := n.cell.NewState()
-	xIn := mat.NewVec(1)
-	cellIn := mat.NewVec(n.cfg.CellIn)
-	for _, v := range window {
-		xIn[0] = v
-		n.in.Infer(xIn, cellIn)
-		st, _ = n.cell.Step(cellIn, st)
+	if n.inferBuf == nil {
+		n.inferBuf = n.cell.NewInferBuf()
+		n.inferState = n.cell.NewState()
+		n.xIn = mat.NewVec(1)
+		n.cellIn = mat.NewVec(n.cfg.CellIn)
+		n.outBuf = mat.NewVec(1)
 	}
-	out := mat.NewVec(1)
-	n.out.Infer(st.H, out)
-	return out[0]
+	st := n.inferState
+	st.H.Zero()
+	st.C.Zero()
+	for _, v := range window {
+		n.xIn[0] = v
+		n.in.InferFast(n.xIn, n.cellIn)
+		n.cell.StepInfer(n.cellIn, st, st, n.inferBuf)
+	}
+	n.out.InferFast(st.H, n.outBuf)
+	return n.outBuf[0]
 }
 
 // trainState bundles the per-step closures of one BPTT unroll.
@@ -120,6 +138,14 @@ func (n *Network) BPTT(window []float64, target, weight float64) float64 {
 
 func (n *Network) inBack(back func(mat.Vec) mat.Vec, dCellIn mat.Vec) {
 	back(dCellIn) // gradient w.r.t. the scalar input is discarded
+}
+
+// InvalidateTransposes marks every cached weight transpose stale; call
+// after mutating weights through Params (e.g. an optimizer step).
+func (n *Network) InvalidateTransposes() {
+	n.in.InvalidateTranspose()
+	n.cell.InvalidateTransposes()
+	n.out.InvalidateTranspose()
 }
 
 // Params enumerates every trainable parameter of the network.

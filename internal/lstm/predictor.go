@@ -63,6 +63,10 @@ type Predictor struct {
 	m2      float64
 	trained int
 	sinceT  int
+
+	// winBuf is reused by window(): windows are consumed synchronously by
+	// Predict/BPTT, which never retain the slice.
+	winBuf []float64
 }
 
 // NewPredictor returns a Predictor with freshly initialized weights.
@@ -148,7 +152,10 @@ func (p *Predictor) denormalize(z float64) float64 {
 }
 
 func (p *Predictor) window(end int) []float64 {
-	w := make([]float64, p.cfg.Lookback)
+	if p.winBuf == nil {
+		p.winBuf = make([]float64, p.cfg.Lookback)
+	}
+	w := p.winBuf
 	for i := 0; i < p.cfg.Lookback; i++ {
 		w[i] = p.normalize(p.history[end-p.cfg.Lookback+i])
 	}
@@ -182,6 +189,7 @@ func (p *Predictor) trainRound() {
 		nn.ClipGrads(params, p.cfg.ClipNorm)
 	}
 	p.opt.Step(params)
+	p.net.InvalidateTransposes()
 	p.trained++
 }
 

@@ -65,14 +65,7 @@ func (m *Dense) MulVec(x, dst Vec) {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch m=%dx%d len(x)=%d len(dst)=%d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, w := range row {
-			s += w * x[j]
-		}
-		dst[i] = s
-	}
+	gemvRows4(m.Data, 0, m.Rows, m.Cols, x, dst)
 }
 
 // MulVecAdd computes dst += m * x.
@@ -81,14 +74,7 @@ func (m *Dense) MulVecAdd(x, dst Vec) {
 		panic(fmt.Sprintf("mat: MulVecAdd shape mismatch m=%dx%d len(x)=%d len(dst)=%d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, w := range row {
-			s += w * x[j]
-		}
-		dst[i] += s
-	}
+	gemvAddRows4(m.Data, m.Rows, m.Cols, x, dst)
 }
 
 // MulVecT computes dst = mᵀ * x. dst must have length m.Cols and x length
@@ -101,16 +87,7 @@ func (m *Dense) MulVecT(x, dst Vec) {
 	for j := range dst {
 		dst[j] = 0
 	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, w := range row {
-			dst[j] += w * xi
-		}
-	}
+	gemvTAddRows4(m.Data, m.Rows, m.Cols, x, dst)
 }
 
 // MulVecTAdd computes dst += mᵀ * x.
@@ -119,16 +96,7 @@ func (m *Dense) MulVecTAdd(x, dst Vec) {
 		panic(fmt.Sprintf("mat: MulVecTAdd shape mismatch m=%dx%d len(x)=%d len(dst)=%d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, w := range row {
-			dst[j] += w * xi
-		}
-	}
+	gemvTAddRows4(m.Data, m.Rows, m.Cols, x, dst)
 }
 
 // AddOuter performs the rank-1 update m += alpha * a * bᵀ, where a has
@@ -144,9 +112,7 @@ func (m *Dense) AddOuter(alpha float64, a, b Vec) {
 			continue
 		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j := range row {
-			row[j] += ai * b[j]
-		}
+		addScaled(row, ai, b)
 	}
 }
 

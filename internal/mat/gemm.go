@@ -1,0 +1,227 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Batched matrix-matrix products. These are the compute core behind the
+// minibatch neural-network paths: one GEMM replaces a loop of GEMV calls,
+// amortizing weight-matrix traffic across the whole batch while producing
+// bitwise-identical results row for row (see kernels.go for the ordering
+// contract).
+
+// MulMatT computes c = a * bᵀ, where a is M×K, b is N×K, and c is M×N.
+// Row i of c equals b.MulVec(a.Row(i), ...) exactly: this is the layout used
+// by a batched dense-layer forward pass Y = X·Wᵀ, where both operands are
+// walked row-major. c may not alias a or b.
+func MulMatT(a, b, c *Dense) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulMatT shape mismatch a=%dx%d b=%dx%d c=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	// Large-batch fast path: transpose b once and accumulate each output row
+	// as a sequence of vectorized axpys over k. For every output element the
+	// contributions still arrive in ascending k — the exact order of the dot
+	// products below — so both paths produce identical bits; the transposed
+	// form just exposes contiguous vectors to the SIMD kernel. (A zero
+	// coefficient is skipped; adding its ±0 product is bitwise equivalent
+	// for any +0-initialized accumulation, so the shortcut is free.)
+	if useVectorKernels && a.Rows >= 4 && b.Rows >= 8 && a.Cols >= 2 {
+		sb := getTransposed(b)
+		for i := 0; i < a.Rows; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+			gemvTAddRows4(sb.data, b.Cols, b.Rows, a.Row(i), crow)
+		}
+		gemmScratch.Put(sb)
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		gemvRows4(b.Data, 0, b.Rows, b.Cols, a.Row(i), c.Row(i))
+	}
+}
+
+// BTUsable reports whether a cached transpose of an outRows×K matrix would
+// actually be read by MulMatTWithBT/MulVecWithBT — callers skip building
+// and maintaining the cache otherwise (no SIMD kernels, or the output is
+// too narrow for them).
+func BTUsable(outRows int) bool { return useVectorKernels && outRows >= 8 }
+
+// MulMatTWithBT is MulMatT with a caller-maintained transpose bt of b
+// (bt = bᵀ, shaped K×N). With a valid bt the axpy fast path applies at any
+// batch size — the caller amortizes the transpose across many calls (e.g. a
+// layer caching Wᵀ between weight updates). bt may be nil, which always
+// takes the dot-direction path. Results are bitwise identical to MulMatT.
+func MulMatTWithBT(a, b, bt, c *Dense) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows ||
+		(bt != nil && (bt.Rows != b.Cols || bt.Cols != b.Rows)) {
+		panic(fmt.Sprintf("mat: MulMatTWithBT shape mismatch a=%dx%d b=%dx%d c=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if bt != nil && useVectorKernels && b.Rows >= 8 {
+		for i := 0; i < a.Rows; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+			gemvTAddRows4(bt.Data, bt.Rows, bt.Cols, a.Row(i), crow)
+		}
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		gemvRows4(b.Data, 0, b.Rows, b.Cols, a.Row(i), c.Row(i))
+	}
+}
+
+// TransposeInto writes srcᵀ into dst (shaped src.Cols × src.Rows).
+func TransposeInto(src, dst *Dense) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("mat: TransposeInto shape mismatch src=%dx%d dst=%dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	rows, cols := src.Rows, src.Cols
+	for i := 0; i < rows; i++ {
+		row := src.Data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			dst.Data[j*rows+i] = v
+		}
+	}
+}
+
+// MulVecWithBT computes dst = b*x using the cached transpose bt of b when
+// the vector kernels are enabled (bt may be nil to force the plain GEMV
+// path); bitwise identical to b.MulVec(x, dst).
+func MulVecWithBT(b, bt *Dense, x, dst Vec) {
+	if len(x) != b.Cols || len(dst) != b.Rows {
+		panic(fmt.Sprintf("mat: MulVecWithBT shape mismatch m=%dx%d len(x)=%d len(dst)=%d",
+			b.Rows, b.Cols, len(x), len(dst)))
+	}
+	if bt != nil && useVectorKernels && b.Rows >= 8 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		gemvTAddRows4(bt.Data, bt.Rows, bt.Cols, x, dst)
+		return
+	}
+	gemvRows4(b.Data, 0, b.Rows, b.Cols, x, dst)
+}
+
+// gemmScratch recycles transpose panels across GEMM calls (safe for
+// concurrent use; each call owns its holder between Get and Put, and the
+// holder is a stable pointer so the round trip does not allocate).
+var gemmScratch sync.Pool
+
+type scratchBuf struct{ data []float64 }
+
+func getTransposed(b *Dense) *scratchBuf {
+	n := b.Rows * b.Cols
+	sb, _ := gemmScratch.Get().(*scratchBuf)
+	if sb == nil {
+		sb = &scratchBuf{}
+	}
+	if cap(sb.data) < n {
+		sb.data = make([]float64, n)
+	} else {
+		sb.data = sb.data[:n]
+	}
+	// sb.data holds bᵀ, laid out b.Cols x b.Rows.
+	rows, cols := b.Rows, b.Cols
+	bt := sb.data
+	for i := 0; i < rows; i++ {
+		row := b.Data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			bt[j*rows+i] = v
+		}
+	}
+	return sb
+}
+
+// MulMat computes c = a * b, where a is M×K, b is K×N, and c is M×N. Row i
+// of c equals b.MulVecT(a.Row(i), ...) exactly, including the skip-zero
+// shortcut: this is the layout used by a batched backward pass dX = dY·W.
+// c may not alias a or b.
+func MulMat(a, b, c *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulMat shape mismatch a=%dx%d b=%dx%d c=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		crow := c.Row(i)
+		for j := range crow {
+			crow[j] = 0
+		}
+		gemvTAddRows4(b.Data, b.Rows, b.Cols, a.Row(i), crow)
+	}
+}
+
+// AddMulTMat performs the rank-K update c += alpha * aᵀ * b, where a is
+// B×M, b is B×N, and c is M×N. The batch dimension B is the outermost loop,
+// so for every element of c the per-sample contributions accumulate in
+// ascending sample order — exactly the sequence a loop of AddOuter(alpha,
+// a.Row(s), b.Row(s)) calls would produce, including the skip-zero
+// shortcut. This is the batched weight-gradient update dW += dYᵀ·X.
+func AddMulTMat(alpha float64, a, b, c *Dense) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: AddMulTMat shape mismatch a=%dx%d b=%dx%d c=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	s := 0
+	for ; s+4 <= a.Rows; s += 4 {
+		b0 := b.Row(s)
+		b1 := b.Row(s + 1)
+		b2 := b.Row(s + 2)
+		b3 := b.Row(s + 3)
+		for o := 0; o < c.Rows; o++ {
+			a0 := alpha * a.At(s, o)
+			a1 := alpha * a.At(s+1, o)
+			a2 := alpha * a.At(s+2, o)
+			a3 := alpha * a.At(s+3, o)
+			crow := c.Row(o)
+			if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+				// Preserve the scalar path's skip-zero semantics exactly.
+				addScaled(crow, a0, b0)
+				addScaled(crow, a1, b1)
+				addScaled(crow, a2, b2)
+				addScaled(crow, a3, b3)
+				continue
+			}
+			if useVectorKernels && len(crow) >= 8 {
+				vaxpy4(crow, b0, b1, b2, b3, a0, a1, a2, a3)
+				continue
+			}
+			for j := range crow {
+				v := crow[j]
+				v += a0 * b0[j]
+				v += a1 * b1[j]
+				v += a2 * b2[j]
+				v += a3 * b3[j]
+				crow[j] = v
+			}
+		}
+	}
+	for ; s < a.Rows; s++ {
+		c.AddOuter(alpha, a.Row(s), b.Row(s))
+	}
+}
+
+// AddScaled computes y += alpha*x, skipping entirely when alpha is zero
+// (mirrors AddOuter's per-row shortcut). With alpha == 1 the result is
+// bitwise identical to y.Add(x), since multiplying by 1.0 is exact.
+func AddScaled(y Vec, alpha float64, x Vec) { addScaled(y, alpha, x) }
+
+func addScaled(y Vec, alpha float64, x Vec) {
+	if alpha == 0 {
+		return
+	}
+	x = x[:len(y)]
+	if useVectorKernels && len(y) >= 8 {
+		vaxpy1(y, x, alpha)
+		return
+	}
+	for j := range y {
+		y[j] += alpha * x[j]
+	}
+}

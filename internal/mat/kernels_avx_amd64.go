@@ -1,0 +1,124 @@
+//go:build amd64
+
+package mat
+
+// AVX2 dispatch for the fused axpy kernels. useVectorKernels is decided
+// once at init; when false (no AVX2, or the OS does not save YMM state)
+// everything falls back to the portable Go tiles, which compute the exact
+// same bits.
+
+var useVectorKernels = detectAVX2()
+var useAVX512 = useVectorKernels && detectAVX512()
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+func detectAVX512() bool {
+	// Needs AVX512F plus OS support for opmask and ZMM state (XCR0 bits
+	// 5-7 alongside SSE/AVX).
+	xcr0, _ := xgetbv0()
+	if xcr0&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx512f = 1 << 16
+	return ebx7&avx512f != 0
+}
+
+func vaxpy4asm(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64)
+func vaxpy1asm(dst, r []float64, x float64)
+func vaxpy4asm512(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64)
+func vaxpy1asm512(dst, r []float64, x float64)
+func fusedAdamAsm(val, grad, m, v []float64, b1, omb1, b2, omb2, c1, c2, lr, eps float64)
+
+// FusedAdam applies one elementwise Adam update
+//
+//	m = b1*m + (1-b1)*g
+//	v = b2*v + (1-b2)*g*g
+//	val -= lr*(m/c1) / (sqrt(v/c2) + eps)
+//
+// across the whole tensor, bitwise identical to the scalar loop (every
+// SIMD lane op is correctly rounded).
+func FusedAdam(val, grad, m, v Vec, b1, b2, c1, c2, lr, eps float64) {
+	n := len(val)
+	grad = grad[:n]
+	m = m[:n]
+	v = v[:n]
+	start := 0
+	if useVectorKernels && n >= 4 {
+		n4 := n &^ 3
+		fusedAdamAsm(val[:n4], grad, m, v, b1, 1-b1, b2, 1-b2, c1, c2, lr, eps)
+		start = n4
+	}
+	fusedAdamScalar(val, grad, m, v, start, b1, b2, c1, c2, lr, eps)
+}
+
+// vaxpy4Tile is the pre-truncated fast path: len(dst) must already be a
+// (possibly zero) multiple of 4 and r* at least as long.
+func vaxpy4Tile(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX512 {
+		vaxpy4asm512(dst, r0, r1, r2, r3, x0, x1, x2, x3)
+	} else {
+		vaxpy4asm(dst, r0, r1, r2, r3, x0, x1, x2, x3)
+	}
+}
+
+// vaxpy4 computes dst[j] += r0[j]*x0; += r1[j]*x1; += r2[j]*x2; += r3[j]*x3
+// for every j, in exactly that per-element order.
+func vaxpy4(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
+	n4 := len(dst) &^ 3
+	if n4 > 0 {
+		if useAVX512 {
+			vaxpy4asm512(dst[:n4], r0, r1, r2, r3, x0, x1, x2, x3)
+		} else {
+			vaxpy4asm(dst[:n4], r0, r1, r2, r3, x0, x1, x2, x3)
+		}
+	}
+	for j := n4; j < len(dst); j++ {
+		s := dst[j]
+		s += r0[j] * x0
+		s += r1[j] * x1
+		s += r2[j] * x2
+		s += r3[j] * x3
+		dst[j] = s
+	}
+}
+
+// vaxpy1 computes dst[j] += r[j]*x for every j.
+func vaxpy1(dst, r []float64, x float64) {
+	n4 := len(dst) &^ 3
+	if n4 > 0 {
+		if useAVX512 {
+			vaxpy1asm512(dst[:n4], r, x)
+		} else {
+			vaxpy1asm(dst[:n4], r, x)
+		}
+	}
+	for j := n4; j < len(dst); j++ {
+		dst[j] += r[j] * x
+	}
+}

@@ -1,0 +1,34 @@
+//go:build !amd64
+
+package mat
+
+// Portable fallbacks: non-amd64 builds always use the Go tiles.
+
+const useVectorKernels = false
+
+func vaxpy4Tile(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
+	vaxpy4(dst, r0, r1, r2, r3, x0, x1, x2, x3)
+}
+
+func vaxpy4(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
+	for j := range dst {
+		s := dst[j]
+		s += r0[j] * x0
+		s += r1[j] * x1
+		s += r2[j] * x2
+		s += r3[j] * x3
+		dst[j] = s
+	}
+}
+
+func vaxpy1(dst, r []float64, x float64) {
+	for j := range dst {
+		dst[j] += r[j] * x
+	}
+}
+
+// FusedAdam applies one elementwise Adam update across the whole tensor
+// (see the amd64 variant for the formula).
+func FusedAdam(val, grad, m, v Vec, b1, b2, c1, c2, lr, eps float64) {
+	fusedAdamScalar(val, grad, m, v, 0, b1, b2, c1, c2, lr, eps)
+}

@@ -1,0 +1,81 @@
+package mat
+
+// Workspace is a bump-allocator arena for scratch vectors and matrices.
+// Call Reset at the start of a computation and Take/TakeMat for each scratch
+// buffer; after the arena has grown to the high-water mark of the workload,
+// every subsequent computation is allocation-free. A Workspace is not safe
+// for concurrent use — give each goroutine (each agent, each network) its
+// own.
+type Workspace struct {
+	buf  []float64
+	off  int
+	mats []Dense
+	moff int
+}
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset recycles the arena. Buffers handed out before the call must no
+// longer be used; their contents will be overwritten by subsequent Takes.
+func (w *Workspace) Reset() {
+	w.off = 0
+	w.moff = 0
+}
+
+// Take returns a zeroed scratch vector of length n valid until the next
+// Reset.
+func (w *Workspace) Take(n int) Vec {
+	if w.off+n > len(w.buf) {
+		grown := 2*len(w.buf) + n
+		// Old buffers stay valid: they keep aliasing the previous backing
+		// array, which outlives the swap for as long as callers hold them.
+		w.buf = make([]float64, grown)
+		w.off = 0
+	}
+	v := Vec(w.buf[w.off : w.off+n])
+	w.off += n
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// TakeUninit is Take without the zero fill, for buffers every element of
+// which the caller overwrites before reading (e.g. GEMV/GEMM destinations).
+func (w *Workspace) TakeUninit(n int) Vec {
+	if w.off+n > len(w.buf) {
+		grown := 2*len(w.buf) + n
+		w.buf = make([]float64, grown)
+		w.off = 0
+	}
+	v := Vec(w.buf[w.off : w.off+n])
+	w.off += n
+	return v
+}
+
+// TakeMat returns a zeroed scratch rows×cols matrix valid until the next
+// Reset. The matrix header itself comes from the arena, so steady-state use
+// performs no heap allocation.
+func (w *Workspace) TakeMat(rows, cols int) *Dense {
+	m := w.takeMatHeader(rows, cols)
+	m.Data = w.Take(rows * cols)
+	return m
+}
+
+// TakeMatUninit is TakeMat without the zero fill.
+func (w *Workspace) TakeMatUninit(rows, cols int) *Dense {
+	m := w.takeMatHeader(rows, cols)
+	m.Data = w.TakeUninit(rows * cols)
+	return m
+}
+
+func (w *Workspace) takeMatHeader(rows, cols int) *Dense {
+	if w.moff == len(w.mats) {
+		w.mats = append(w.mats, Dense{})
+	}
+	m := &w.mats[w.moff]
+	w.moff++
+	m.Rows, m.Cols = rows, cols
+	return m
+}

@@ -1,0 +1,91 @@
+package nn
+
+import "math"
+
+// Devirtualized elementwise activation loops. The generic interface call per
+// element costs more than the arithmetic for the cheap activations, so the
+// hot layer paths funnel through these helpers, which type-switch once per
+// vector and then run a direct loop. Each branch replicates the
+// corresponding Activation method exactly, so results are bitwise identical
+// to the interface path (the default case).
+
+// applyAct computes dst[i] = act.F(src[i]). src and dst may alias.
+func applyAct(act Activation, src, dst []float64) {
+	dst = dst[:len(src)]
+	switch a := act.(type) {
+	case Identity:
+		if &dst[0] != &src[0] {
+			copy(dst, src)
+		}
+	case ELU:
+		al := a.alpha()
+		for i, x := range src {
+			if x >= 0 {
+				dst[i] = x
+			} else {
+				dst[i] = al * (math.Exp(x) - 1)
+			}
+		}
+	case ReLU:
+		for i, x := range src {
+			if x > 0 {
+				dst[i] = x
+			} else {
+				dst[i] = 0
+			}
+		}
+	case Tanh:
+		for i, x := range src {
+			dst[i] = math.Tanh(x)
+		}
+	case Sigmoid:
+		for i, x := range src {
+			dst[i] = 1 / (1 + math.Exp(-x))
+		}
+	default:
+		for i, x := range src {
+			dst[i] = act.F(x)
+		}
+	}
+}
+
+// applyActDeriv computes dst[i] = dy[i] * act.Deriv(pre[i], y[i]).
+func applyActDeriv(act Activation, dy, pre, y, dst []float64) {
+	n := len(dy)
+	pre = pre[:n]
+	y = y[:n]
+	dst = dst[:n]
+	switch a := act.(type) {
+	case Identity:
+		copy(dst, dy)
+	case ELU:
+		al := a.alpha()
+		for i, g := range dy {
+			if pre[i] >= 0 {
+				dst[i] = g
+			} else {
+				dst[i] = g * (y[i] + al)
+			}
+		}
+	case ReLU:
+		for i, g := range dy {
+			if pre[i] > 0 {
+				dst[i] = g
+			} else {
+				dst[i] = g * 0 // keep the sign-of-zero of the generic path
+			}
+		}
+	case Tanh:
+		for i, g := range dy {
+			dst[i] = g * (1 - y[i]*y[i])
+		}
+	case Sigmoid:
+		for i, g := range dy {
+			dst[i] = g * (y[i] * (1 - y[i]))
+		}
+	default:
+		for i, g := range dy {
+			dst[i] = g * act.Deriv(pre[i], y[i])
+		}
+	}
+}

@@ -76,28 +76,49 @@ func (a *Autoencoder) ReconstructionLoss(x mat.Vec) float64 {
 }
 
 // TrainBatch performs one optimizer step on a minibatch of inputs using the
-// reconstruction MSE objective, returning the mean loss over the batch.
+// reconstruction MSE objective, returning the mean loss over the batch. The
+// whole minibatch flows through the encoder and decoder as batched GEMMs;
+// the result (loss and updated weights) is bitwise identical to running the
+// per-sample Forward path over the batch in order.
 func (a *Autoencoder) TrainBatch(xs []mat.Vec, opt Optimizer, clipNorm float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	params := a.Params()
 	ZeroGrads(params)
-	var total float64
-	scale := 1 / float64(len(xs))
-	for _, x := range xs {
-		code, encBack := a.Enc.Forward(x)
-		y, decBack := a.Dec.Forward(code)
-		loss, grad := MSE(y, x)
-		total += loss
-		grad.Scale(scale)
-		encBack(decBack(grad))
+	B := len(xs)
+	in := a.InDim()
+	X := mat.NewDense(B, in)
+	for b, x := range xs {
+		X.Row(b).CopyFrom(x)
 	}
+	codes, encBack := a.Enc.ForwardBatch(X)
+	Y, decBack := a.Dec.ForwardBatch(codes)
+
+	var total float64
+	scale := 1 / float64(B)
+	n := float64(in)
+	G := mat.NewDense(B, in)
+	for b := 0; b < B; b++ {
+		yRow, xRow, gRow := Y.Row(b), X.Row(b), G.Row(b)
+		var loss float64
+		for i := range yRow {
+			d := yRow[i] - xRow[i]
+			loss += d * d
+			// MSE gradient (2d/n), pre-scaled by the batch weight exactly as
+			// the per-sample path's grad.Scale(scale) would.
+			gRow[i] = 2 * d / n * scale
+		}
+		total += loss / n
+	}
+	encBack(decBack(G))
 	if clipNorm > 0 {
 		ClipGrads(params, clipNorm)
 	}
 	opt.Step(params)
-	return total / float64(len(xs))
+	a.Enc.InvalidateTransposes()
+	a.Dec.InvalidateTransposes()
+	return total / float64(B)
 }
 
 // Params enumerates encoder and decoder parameters.

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+
+	"hierdrl/internal/mat"
+)
+
+// Batched layer application: one minibatch flows through each layer as a
+// single B×In · Inᵀ×Out GEMM instead of B separate GEMV calls. Row b of
+// every batched result is bitwise identical to the per-sample path applied
+// to row b (the mat kernels guarantee per-element accumulation order), so
+// the batched and scalar code paths are interchangeable — the batched ones
+// are just faster and allocate O(layers) large buffers instead of
+// O(batch·layers) small ones.
+
+// InferBatch computes Y = act(X·Wᵀ + b) for a whole minibatch without
+// capturing backprop state. X is B×In, Y must be B×Out; no scratch is
+// needed, so with caller-owned X and Y the call is allocation-free.
+func (d *Dense) InferBatch(X, Y *mat.Dense) {
+	if X.Cols != d.In || Y.Cols != d.Out || X.Rows != Y.Rows {
+		panic(fmt.Sprintf("nn: Dense.InferBatch shapes X=%dx%d Y=%dx%d want In=%d Out=%d",
+			X.Rows, X.Cols, Y.Rows, Y.Cols, d.In, d.Out))
+	}
+	mat.MulMatTWithBT(X, d.W, d.transposedW(), Y)
+	for b := 0; b < Y.Rows; b++ {
+		row := Y.Row(b)
+		mat.AddScaled(row, 1, d.B)
+		applyAct(d.Act, row, row)
+	}
+}
+
+// ForwardBatch computes Y = act(X·Wᵀ + b) for a whole minibatch and returns
+// a backward closure that accumulates dW/db over the batch (in ascending
+// sample order, matching a loop of per-sample Forward calls) and returns
+// dL/dX.
+func (d *Dense) ForwardBatch(X *mat.Dense) (Y *mat.Dense, back func(dY *mat.Dense) *mat.Dense) {
+	return d.forwardBatchWS(nil, X, true)
+}
+
+// forwardBatchWS is ForwardBatch with all scratch taken from ws (nil means
+// heap-allocate) and an optional skip of the dL/dX computation for layers
+// whose input gradient nobody consumes. Buffers taken from ws stay live
+// until the caller's next ws.Reset, which must not happen between forward
+// and backward.
+func (d *Dense) forwardBatchWS(ws *mat.Workspace, X *mat.Dense, needDX bool) (Y *mat.Dense, back func(dY *mat.Dense) *mat.Dense) {
+	if X.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense.ForwardBatch input width %d want %d", X.Cols, d.In))
+	}
+	takeMat := func(r, c int) *mat.Dense {
+		if ws != nil {
+			return ws.TakeMatUninit(r, c)
+		}
+		return mat.NewDense(r, c)
+	}
+	B := X.Rows
+	pre := takeMat(B, d.Out)
+	mat.MulMatTWithBT(X, d.W, d.transposedW(), pre)
+	Y = takeMat(B, d.Out)
+	for b := 0; b < B; b++ {
+		prow := pre.Row(b)
+		mat.AddScaled(prow, 1, d.B)
+		applyAct(d.Act, prow, Y.Row(b))
+	}
+	Xs := takeMat(B, d.In)
+	Xs.CopyFrom(X)
+	Ys := Y
+	back = func(dY *mat.Dense) *mat.Dense {
+		if dY.Rows != B || dY.Cols != d.Out {
+			panic(fmt.Sprintf("nn: Dense batched backward grad %dx%d want %dx%d",
+				dY.Rows, dY.Cols, B, d.Out))
+		}
+		dPre := takeMat(B, d.Out)
+		for b := 0; b < B; b++ {
+			applyActDeriv(d.Act, dY.Row(b), pre.Row(b), Ys.Row(b), dPre.Row(b))
+		}
+		mat.AddMulTMat(1, dPre, Xs, d.GW)
+		for b := 0; b < B; b++ {
+			mat.AddScaled(d.GB, 1, dPre.Row(b))
+		}
+		if !needDX {
+			return nil
+		}
+		dX := takeMat(B, d.In)
+		mat.MulMat(dPre, d.W, dX)
+		return dX
+	}
+	return Y, back
+}
+
+// InferBatchWS runs the whole network on a minibatch using ws for every
+// intermediate, returning the B×Out output matrix (valid until the next ws
+// Reset). Steady-state calls are allocation-free.
+func (m *MLP) InferBatchWS(ws *mat.Workspace, X *mat.Dense) *mat.Dense {
+	h := X
+	for _, l := range m.Layers {
+		out := ws.TakeMatUninit(h.Rows, l.Out)
+		l.InferBatch(h, out)
+		h = out
+	}
+	return h
+}
+
+// InferBatch runs the whole network on a minibatch, allocating the
+// intermediates. Prefer InferBatchWS on hot paths.
+func (m *MLP) InferBatch(X *mat.Dense) *mat.Dense {
+	h := X
+	for _, l := range m.Layers {
+		out := mat.NewDense(h.Rows, l.Out)
+		l.InferBatch(h, out)
+		h = out
+	}
+	return h
+}
+
+// InferWS runs the network on a single input using ws for every
+// intermediate, returning the output vector (valid until the next ws Reset).
+// Steady-state calls are allocation-free.
+func (m *MLP) InferWS(ws *mat.Workspace, x mat.Vec) mat.Vec {
+	h := x
+	for _, l := range m.Layers {
+		out := ws.TakeUninit(l.Out)
+		l.InferFast(h, out)
+		h = out
+	}
+	return h
+}
+
+// ForwardBatch runs the network on a minibatch with backprop capture. The
+// backward closure accumulates every layer's parameter gradients (per
+// parameter tensor, samples contribute in ascending order — matching a loop
+// of per-sample Forward calls) and returns dL/dX.
+func (m *MLP) ForwardBatch(X *mat.Dense) (Y *mat.Dense, back func(dY *mat.Dense) *mat.Dense) {
+	return m.ForwardBatchWS(nil, X, true)
+}
+
+// ForwardBatchWS is ForwardBatch with scratch taken from ws (nil to
+// heap-allocate). With needInputDX false the first layer skips computing
+// dL/dX and the backward closure returns nil — use when nothing upstream
+// consumes the input gradient. ws must not be Reset between forward and
+// backward.
+func (m *MLP) ForwardBatchWS(ws *mat.Workspace, X *mat.Dense, needInputDX bool) (Y *mat.Dense, back func(dY *mat.Dense) *mat.Dense) {
+	backs := make([]func(*mat.Dense) *mat.Dense, len(m.Layers))
+	h := X
+	for i, l := range m.Layers {
+		h, backs[i] = l.forwardBatchWS(ws, h, i > 0 || needInputDX)
+	}
+	back = func(dY *mat.Dense) *mat.Dense {
+		g := dY
+		for i := len(backs) - 1; i >= 0; i-- {
+			g = backs[i](g)
+		}
+		return g
+	}
+	return h, back
+}

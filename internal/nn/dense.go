@@ -61,6 +61,34 @@ type Dense struct {
 	B  mat.Vec    // Out
 	GW *mat.Dense // gradient accumulator, Out x In
 	GB mat.Vec    // gradient accumulator, Out
+
+	// wt caches Wᵀ for the SIMD fast paths. It is rebuilt lazily after any
+	// weight mutation; every code path that writes W (optimizer steps,
+	// weight copies, snapshot restores) must call InvalidateTranspose.
+	wt   *mat.Dense
+	wtOK bool
+}
+
+// InvalidateTranspose marks the cached Wᵀ stale. Call after mutating W
+// outside the layer's own methods.
+func (d *Dense) InvalidateTranspose() { d.wtOK = false }
+
+// transposedW returns the cached Wᵀ, rebuilding it if stale. It returns
+// nil when no kernel would read the transpose (no SIMD support, or the
+// layer is too narrow), so callers skip the cache maintenance entirely on
+// such platforms/shapes.
+func (d *Dense) transposedW() *mat.Dense {
+	if !mat.BTUsable(d.Out) {
+		return nil
+	}
+	if !d.wtOK {
+		if d.wt == nil {
+			d.wt = mat.NewDense(d.In, d.Out)
+		}
+		mat.TransposeInto(d.W, d.wt)
+		d.wtOK = true
+	}
+	return d.wt
 }
 
 // NewDense returns a Dense layer with Xavier-initialized weights and zero
@@ -94,20 +122,16 @@ func (d *Dense) Forward(x mat.Vec) (y mat.Vec, back func(dy mat.Vec) mat.Vec) {
 	}
 	pre := mat.NewVec(d.Out)
 	d.W.MulVec(x, pre)
-	pre.Add(d.B)
+	mat.AddScaled(pre, 1, d.B)
 	y = mat.NewVec(d.Out)
-	for i, p := range pre {
-		y[i] = d.Act.F(p)
-	}
+	applyAct(d.Act, pre, y)
 	xSaved := x.Clone()
 	back = func(dy mat.Vec) mat.Vec {
 		if len(dy) != d.Out {
 			panic(fmt.Sprintf("nn: Dense backward grad length %d want %d", len(dy), d.Out))
 		}
 		dPre := mat.NewVec(d.Out)
-		for i := range dy {
-			dPre[i] = dy[i] * d.Act.Deriv(pre[i], y[i])
-		}
+		applyActDeriv(d.Act, dy, pre, y, dPre)
 		d.GW.AddOuter(1, dPre, xSaved)
 		d.GB.Add(dPre)
 		dx := mat.NewVec(d.In)
@@ -125,10 +149,24 @@ func (d *Dense) Infer(x, dst mat.Vec) mat.Vec {
 			len(x), len(dst), d.In, d.Out))
 	}
 	d.W.MulVec(x, dst)
-	dst.Add(d.B)
-	for i, p := range dst {
-		dst[i] = d.Act.F(p)
+	mat.AddScaled(dst, 1, d.B)
+	applyAct(d.Act, dst, dst)
+	return dst
+}
+
+// InferFast is Infer routed through the cached-Wᵀ SIMD path (bitwise
+// identical results). Unlike Infer it reads the transpose cache, so callers
+// must guarantee InvalidateTranspose runs after every out-of-band weight
+// mutation; the training loops in this repo are wired accordingly. Use
+// plain Infer when in doubt — e.g. when perturbing weights through Params.
+func (d *Dense) InferFast(x, dst mat.Vec) mat.Vec {
+	if len(x) != d.In || len(dst) != d.Out {
+		panic(fmt.Sprintf("nn: Dense.InferFast shapes len(x)=%d len(dst)=%d want %d,%d",
+			len(x), len(dst), d.In, d.Out))
 	}
+	mat.MulVecWithBT(d.W, d.transposedW(), x, dst)
+	mat.AddScaled(dst, 1, d.B)
+	applyAct(d.Act, dst, dst)
 	return dst
 }
 
@@ -149,6 +187,7 @@ func (d *Dense) CopyWeightsFrom(src *Dense) {
 	}
 	d.W.CopyFrom(src.W)
 	d.B.CopyFrom(src.B)
+	d.wtOK = false
 }
 
 // NumParams returns the number of scalar parameters in the layer.

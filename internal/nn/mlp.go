@@ -87,6 +87,14 @@ func (m *MLP) CopyWeightsFrom(src *MLP) {
 	}
 }
 
+// InvalidateTransposes marks every layer's cached Wᵀ stale. Call after any
+// out-of-band weight mutation (optimizer step, snapshot restore).
+func (m *MLP) InvalidateTransposes() {
+	for _, l := range m.Layers {
+		l.InvalidateTranspose()
+	}
+}
+
 // NumParams returns the total scalar parameter count.
 func (m *MLP) NumParams() int {
 	n := 0

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"hierdrl/internal/mat"
 )
 
 // Adam implements the Adam stochastic optimizer (Kingma & Ba, 2014), which
@@ -52,14 +54,8 @@ func (a *Adam) Step(params []Param) {
 			panic(fmt.Sprintf("nn: Adam.Step param %d size changed: %d != %d",
 				i, len(p.Val), len(a.m[i])))
 		}
-		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad {
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
-			mHat := m[j] / c1
-			vHat := v[j] / c2
-			p.Val[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
-		}
+		mat.FusedAdam(p.Val, p.Grad, a.m[i], a.v[i],
+			a.Beta1, a.Beta2, c1, c2, a.LR, a.Eps)
 	}
 }
 

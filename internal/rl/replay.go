@@ -13,6 +13,7 @@ import (
 // learning.
 type Replay[T any] struct {
 	buf  []T
+	gens []int64
 	cap  int
 	next int
 	full bool
@@ -23,12 +24,13 @@ func NewReplay[T any](capacity int) *Replay[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("rl: NewReplay invalid capacity %d", capacity))
 	}
-	return &Replay[T]{buf: make([]T, capacity), cap: capacity}
+	return &Replay[T]{buf: make([]T, capacity), gens: make([]int64, capacity), cap: capacity}
 }
 
 // Add appends a transition, evicting the oldest when at capacity.
 func (r *Replay[T]) Add(t T) {
 	r.buf[r.next] = t
+	r.gens[r.next]++
 	r.next++
 	if r.next == r.cap {
 		r.next = 0
@@ -60,6 +62,30 @@ func (r *Replay[T]) Sample(n int, rng *mat.RNG) []T {
 	}
 	return out
 }
+
+// SampleIndices draws n slot indices uniformly with replacement, consuming
+// the RNG exactly as Sample does (so the two are interchangeable for
+// deterministic replays). Use At to dereference and Gen to detect slot
+// reuse across draws.
+func (r *Replay[T]) SampleIndices(n int, rng *mat.RNG) []int {
+	ln := r.Len()
+	if ln == 0 {
+		panic("rl: Sample from empty replay memory")
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(ln)
+	}
+	return out
+}
+
+// At returns the transition stored in slot i (0 <= i < Len).
+func (r *Replay[T]) At(i int) T { return r.buf[i] }
+
+// Gen returns the write generation of slot i: it increments every time the
+// slot is overwritten, so a (slot, generation) pair uniquely identifies one
+// stored transition for memoization purposes.
+func (r *Replay[T]) Gen(i int) int64 { return r.gens[i] }
 
 // Each calls fn for every stored transition in insertion order (oldest
 // first).

@@ -1,0 +1,84 @@
+package hierdrl
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRunComparisonMatchesSequential pins the concurrency contract: the
+// pooled runner must produce exactly the metrics of three independent
+// sequential Run calls (per-run RNG chains, shared immutable trace).
+func TestRunComparisonMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six end-to-end runs; skip with -short")
+	}
+	m := 4
+	sc := tinyScale(m)
+	cmp, err := RunComparison(m, sc, 0)
+	if err != nil {
+		t.Fatalf("RunComparison: %v", err)
+	}
+
+	tr := sc.trace(0)
+	warm := sc.warmupTrace(0)
+	seq := make([]*Result, 0, 3)
+	for _, mk := range []func() Config{
+		func() Config { return RoundRobin(m) },
+		func() Config { c := DRLOnly(m); c.WarmupTrace = warm; return c },
+		func() Config { c := Hierarchical(m); c.WarmupTrace = warm; return c },
+	} {
+		cfg := mk()
+		cfg.Seed = sc.Seed
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", cfg.Name, err)
+		}
+		seq = append(seq, res)
+	}
+	for i, got := range cmp.Rows() {
+		want := seq[i].Summary
+		if got.EnergykWh != want.EnergykWh || got.AccLatencySec != want.AccLatencySec ||
+			got.AvgPowerW != want.AvgPowerW {
+			t.Fatalf("%s: concurrent %+v != sequential %+v", got.Policy, got, want)
+		}
+	}
+}
+
+func TestRunParallelErrorSelection(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := runParallel([]func() error{
+		func() error { return nil },
+		func() error { return errA },
+		func() error { return errB },
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("runParallel returned %v, want first failing task's error %v", err, errA)
+	}
+	if err := runParallel(nil); err != nil {
+		t.Fatalf("empty task list: %v", err)
+	}
+}
+
+func TestRunTradeoffOrderingStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs; skip with -short")
+	}
+	m := 4
+	sc := tinyScale(m)
+	lambdas := []float64{0.3, 0.7}
+	curves, err := RunTradeoff(m, sc, lambdas)
+	if err != nil {
+		t.Fatalf("RunTradeoff: %v", err)
+	}
+	for _, series := range curves.All() {
+		if len(series) != len(lambdas) {
+			t.Fatalf("series length %d want %d", len(series), len(lambdas))
+		}
+		for i, p := range series {
+			if p.Weight != lambdas[i] {
+				t.Fatalf("series point %d weight %v want %v (ordering lost)", i, p.Weight, lambdas[i])
+			}
+		}
+	}
+}
