@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full clean
+.PHONY: all build test race vet bench bench-full profile clean
 
 all: vet build test
 
@@ -18,10 +18,11 @@ vet:
 
 # bench runs the kernel + hot-path micro-benchmarks and records them as
 # BENCH_kernels.json (benchstat-compatible: the "raw" array holds the
-# verbatim benchmark lines). Tracks the perf trajectory across PRs.
+# verbatim benchmark lines; the event-engine rows additionally land in the
+# "sim" section). Tracks the perf trajectory across PRs.
 bench:
 	$(GO) test -run=NONE \
-		-bench='BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$' \
+		-bench='BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$|BenchmarkLSTMBPTT$$|BenchmarkEventLoop$$|BenchmarkSnapshot$$|BenchmarkAllocateEpoch$$' \
 		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@echo wrote BENCH_kernels.json
 
@@ -31,5 +32,12 @@ bench-full:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_full.json
 	@echo wrote BENCH_full.json
 
+# profile writes CPU and allocation pprof profiles of the headline
+# experiment benchmark (inspect with `go tool pprof cpu.pprof`).
+profile:
+	$(GO) test -run=NONE -bench='BenchmarkTable1_M30$$' -benchtime=3x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -o hierdrl-bench.test .
+	@echo wrote cpu.pprof mem.pprof '(binary: hierdrl-bench.test)'
+
 clean:
-	rm -f BENCH_kernels.json BENCH_full.json
+	rm -f BENCH_kernels.json BENCH_full.json cpu.pprof mem.pprof hierdrl-bench.test

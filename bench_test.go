@@ -287,6 +287,81 @@ func BenchmarkQNetInferBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEventLoop measures steady-state event throughput through the
+// pooled, closure-free scheduling path: one self-rearming timer, zero
+// allocations per event once the slot pool is warm.
+func BenchmarkEventLoop(b *testing.B) {
+	s := sim.New()
+	var tick func(any)
+	tick = func(a any) { s.ScheduleAfterArg(1, tick, a) }
+	s.ScheduleArg(0, tick, s)
+	for i := 0; i < 64; i++ {
+		s.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkSnapshot measures one per-arrival cluster observation: refreshing
+// a reused View for an M=30 cluster.
+func BenchmarkSnapshot(b *testing.B) {
+	sm := sim.New()
+	cl, err := cluster.New(cluster.DefaultConfig(30), sm, func(int) cluster.DPMPolicy {
+		return benchAlwaysOn{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v cluster.View
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.SnapshotInto(&v)
+	}
+}
+
+// benchAlwaysOn avoids importing internal/local just for the benchmark.
+type benchAlwaysOn struct{}
+
+func (benchAlwaysOn) OnIdle(sim.Time, *cluster.Server) float64                { return 1e18 }
+func (benchAlwaysOn) OnArrival(sim.Time, *cluster.Server, cluster.PowerState) {}
+func (benchAlwaysOn) Observe(sim.Time, float64, int)                          {}
+
+// BenchmarkAllocateEpoch measures one full DRL decision epoch on a warm
+// M=30 agent: state encode, transition close into the pooled replay, Q
+// inference, epsilon-greedy selection, integrator reset — plus the amortized
+// share of minibatch training (every TrainEvery-th epoch trains).
+func BenchmarkAllocateEpoch(b *testing.B) {
+	m := 30
+	cfg := global.DefaultConfig(m)
+	rng := mat.NewRNG(1)
+	agent, err := global.NewAgent(cfg, m, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := benchView(m, rng)
+	j := &cluster.Job{Duration: 600, Req: cluster.Resources{0.2, 0.1, 0.1}}
+	now := 0.0
+	agent.ObserveCluster(0, 3000, 10, 1)
+	epoch := func() {
+		now += 5
+		v.Now = sim.Time(now)
+		agent.ObserveCluster(v.Now, 3000, 10, 1)
+		agent.Allocate(j, v)
+	}
+	for i := 0; i < 2*cfg.TrainEvery; i++ {
+		epoch()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch()
+	}
+}
+
 // BenchmarkSimulatorEvents measures raw event-queue throughput.
 func BenchmarkSimulatorEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -31,7 +31,30 @@ type Benchmark struct {
 type Output struct {
 	Context    map[string]string `json:"context"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
-	Raw        []string          `json:"raw"`
+	// Sim mirrors the event-engine benchmarks (also present in Benchmarks)
+	// under their own key, so the simulation substrate's perf trajectory is
+	// separately machine-readable across PRs.
+	Sim []Benchmark `json:"sim,omitempty"`
+	Raw []string    `json:"raw"`
+}
+
+// simBenchmarks are the benchmark name prefixes that make up the "sim"
+// section: the discrete-event engine, the cluster observation path, and the
+// end-to-end decision epoch it feeds.
+var simBenchmarks = []string{
+	"BenchmarkEventLoop",
+	"BenchmarkSimulatorEvents",
+	"BenchmarkSnapshot",
+	"BenchmarkAllocateEpoch",
+}
+
+func isSimBenchmark(name string) bool {
+	for _, p := range simBenchmarks {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {
@@ -53,6 +76,9 @@ func main() {
 			out.Raw = append(out.Raw, line)
 			if b, ok := parseBench(trimmed); ok {
 				out.Benchmarks = append(out.Benchmarks, b)
+				if isSimBenchmark(b.Name) {
+					out.Sim = append(out.Sim, b)
+				}
 			}
 		}
 	}

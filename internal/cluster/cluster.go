@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"hierdrl/internal/sim"
 )
@@ -47,6 +48,18 @@ type Cluster struct {
 	prevPower    []float64
 	prevJobs     []int
 
+	// Incremental reliability-objective state. reliTerms caches every
+	// server's per-resource hot-spot penalty term (M*NumResources entries,
+	// server-major); reliHot is a bitmask of servers with at least one
+	// non-zero term, so ReliabilityObj sums sparsely over hot servers in
+	// ascending order instead of rescanning all M servers per event.
+	// jobBuckets is a counting multiset of per-server jobs-in-system values
+	// backing an O(1) running maximum.
+	reliTerms  []float64
+	reliHot    []uint64
+	jobBuckets []int
+	maxJobs    int
+
 	// OnChange fires after any server changes power draw or occupancy, with
 	// aggregates already updated. The global DRL tier uses it to integrate
 	// its Eqn. (4) reward exactly.
@@ -69,12 +82,16 @@ func New(cfg Config, sm *sim.Simulator, dpmFactory func(serverID int) DPMPolicy)
 		return nil, fmt.Errorf("cluster: nil DPM factory")
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		sm:        sm,
-		servers:   make([]*Server, cfg.M),
-		prevPower: make([]float64, cfg.M),
-		prevJobs:  make([]int, cfg.M),
+		cfg:        cfg,
+		sm:         sm,
+		servers:    make([]*Server, cfg.M),
+		prevPower:  make([]float64, cfg.M),
+		prevJobs:   make([]int, cfg.M),
+		reliTerms:  make([]float64, cfg.M*NumResources),
+		reliHot:    make([]uint64, (cfg.M+63)/64),
+		jobBuckets: make([]int, 8),
 	}
+	c.jobBuckets[0] = cfg.M // every server starts empty
 	for i := 0; i < cfg.M; i++ {
 		dpm := dpmFactory(i)
 		s, err := NewServer(i, sm, cfg.Server, dpm)
@@ -109,12 +126,61 @@ func (c *Cluster) Submit(j *Job, server int) {
 
 func (c *Cluster) serverUpdated(t sim.Time, s *Server) {
 	i := s.ID()
+	jobs := s.JobsInSystem()
 	c.totalPower += s.Power() - c.prevPower[i]
-	c.jobsInSystem += s.JobsInSystem() - c.prevJobs[i]
+	c.jobsInSystem += jobs - c.prevJobs[i]
+	if old := c.prevJobs[i]; old != jobs {
+		c.bucketMove(old, jobs)
+	}
 	c.prevPower[i] = s.Power()
-	c.prevJobs[i] = s.JobsInSystem()
+	c.prevJobs[i] = jobs
+	c.updateReliTerms(i, s)
 	if c.OnChange != nil {
 		c.OnChange(t)
+	}
+}
+
+// bucketMove shifts one server's jobs-in-system count between multiset
+// buckets and maintains the running maximum in O(1) amortized time.
+func (c *Cluster) bucketMove(old, now int) {
+	c.jobBuckets[old]--
+	if now >= len(c.jobBuckets) {
+		grown := make([]int, 2*now+1)
+		copy(grown, c.jobBuckets)
+		c.jobBuckets = grown
+	}
+	c.jobBuckets[now]++
+	if now > c.maxJobs {
+		c.maxJobs = now
+	} else if old == c.maxJobs && c.jobBuckets[old] == 0 {
+		for c.maxJobs > 0 && c.jobBuckets[c.maxJobs] == 0 {
+			c.maxJobs--
+		}
+	}
+}
+
+// updateReliTerms recomputes server i's hot-spot penalty terms (the only
+// terms a single-server event can change) and its bit in the hot mask. The
+// per-term arithmetic is exactly the full scan's, so the cached values are
+// bitwise identical to freshly computed ones.
+func (c *Cluster) updateReliTerms(i int, s *Server) {
+	theta := c.cfg.HotSpotThreshold
+	denom := (1 - theta) * (1 - theta)
+	u := s.CommittedUtilization()
+	base := i * NumResources
+	any := false
+	for p, v := range u {
+		if over := v - theta; over > 0 {
+			c.reliTerms[base+p] = over * over / denom
+			any = true
+		} else {
+			c.reliTerms[base+p] = 0
+		}
+	}
+	if any {
+		c.reliHot[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		c.reliHot[i/64] &^= 1 << (uint(i) % 64)
 	}
 }
 
@@ -156,7 +222,33 @@ func (c *Cluster) TotalEnergyJoules(t sim.Time) float64 {
 // no formula; DESIGN.md records this concretization. Both terms increase
 // when load piles onto individual machines, so the penalty is monotone in
 // exactly the placements reliability engineering forbids.
+// The value is maintained incrementally: each server event refreshes only
+// that server's cached penalty terms, and this accessor sums the non-zero
+// terms sparsely in ascending server order. Skipped terms are exactly 0.0
+// and adding 0.0 to a non-negative accumulator is exact, so the sparse sum
+// is bitwise identical to the full O(M·P) rescan (reliabilityRecompute, kept
+// for invariant checking).
 func (c *Cluster) ReliabilityObj() float64 {
+	var hot float64
+	for w, word := range c.reliHot {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			base := (w*64 + b) * NumResources
+			for p := 0; p < NumResources; p++ {
+				if t := c.reliTerms[base+p]; t != 0 {
+					hot += t
+				}
+			}
+		}
+	}
+	return hot + float64(c.maxJobs)
+}
+
+// reliabilityRecompute is the reference O(M·P) scan of the reliability
+// objective. InvariantCheck and the equivalence tests compare it against the
+// incremental value bit for bit.
+func (c *Cluster) reliabilityRecompute() float64 {
 	theta := c.cfg.HotSpotThreshold
 	denom := (1 - theta) * (1 - theta)
 	var hot float64
@@ -186,17 +278,26 @@ type View struct {
 	State    []PowerState // power mode per server
 }
 
-// Snapshot captures the current state of every server.
+// Snapshot captures the current state of every server into a freshly
+// allocated View. Hot paths should hold one View and use SnapshotInto.
 func (c *Cluster) Snapshot() *View {
-	v := &View{
-		Now:      c.sm.Now(),
-		M:        len(c.servers),
-		Util:     make([]Resources, len(c.servers)),
-		Pending:  make([]Resources, len(c.servers)),
-		QueueLen: make([]int, len(c.servers)),
-		InSystem: make([]int, len(c.servers)),
-		State:    make([]PowerState, len(c.servers)),
+	return c.SnapshotInto(&View{})
+}
+
+// SnapshotInto captures the current state of every server into v, reusing
+// its slices when already sized for this cluster. After the first call on a
+// given View the refresh is allocation-free. It returns v for convenience.
+func (c *Cluster) SnapshotInto(v *View) *View {
+	m := len(c.servers)
+	if len(v.Util) != m {
+		v.Util = make([]Resources, m)
+		v.Pending = make([]Resources, m)
+		v.QueueLen = make([]int, m)
+		v.InSystem = make([]int, m)
+		v.State = make([]PowerState, m)
 	}
+	v.Now = c.sm.Now()
+	v.M = m
 	for i, s := range c.servers {
 		v.Util[i] = s.Utilization()
 		v.Pending[i] = s.PendingDemand()
@@ -223,5 +324,9 @@ func (c *Cluster) InvariantCheck() {
 	if jobs != c.jobsInSystem {
 		panic(fmt.Sprintf("cluster: jobs drift: incremental %d recomputed %d",
 			c.jobsInSystem, jobs))
+	}
+	if inc, ref := c.ReliabilityObj(), c.reliabilityRecompute(); inc != ref {
+		panic(fmt.Sprintf("cluster: reliability drift: incremental %v recomputed %v",
+			inc, ref))
 	}
 }

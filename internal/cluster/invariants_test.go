@@ -139,6 +139,93 @@ func TestSubmitRejectsOversizedJob(t *testing.T) {
 	srv.Submit(&Job{ID: 0, Duration: 10, Req: Resources{1.5, 0.1, 0.1}, Server: -1})
 }
 
+// The incrementally maintained reliability objective must equal the full
+// O(M·P) rescan — bit for bit, not approximately — after every single event
+// of a randomized run. The sparse sum skips only exact-0.0 terms in
+// ascending server order, so any deviation indicates a bookkeeping bug.
+func TestReliabilityIncrementalEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		g := mat.NewRNG(seed)
+		sm := sim.New()
+		m := 1 + g.Intn(6)
+		cfg := DefaultConfig(m)
+		timeout := []float64{0, 45, math.Inf(1)}[g.Intn(3)]
+		c, err := New(cfg, sm, func(int) DPMPolicy { return fixedDPM{timeout: timeout} })
+		if err != nil {
+			return false
+		}
+		ok := true
+		c.OnChange = func(sim.Time) {
+			if inc, ref := c.ReliabilityObj(), c.reliabilityRecompute(); inc != ref {
+				t.Logf("seed %d: incremental %v != recomputed %v", seed, inc, ref)
+				ok = false
+			}
+		}
+		n := 5 + g.Intn(40)
+		tNow := 0.0
+		for i := 0; i < n; i++ {
+			tNow += g.Exponential(0.02)
+			// Deliberately oversubscribe some servers so hot-spot terms and
+			// deep queues actually occur.
+			j := &Job{
+				ID:       i,
+				Arrival:  sim.Time(tNow),
+				Duration: 5 + g.Float64()*400,
+				Req:      Resources{0.2 + g.Float64()*0.7, 0.1 + g.Float64()*0.5, 0.1},
+				Server:   -1,
+			}
+			srv := g.Intn(m)
+			sm.Schedule(j.Arrival, func() { c.Submit(j, srv) })
+		}
+		sm.RunAll(100000)
+		return ok && c.ReliabilityObj() == c.reliabilityRecompute()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SnapshotInto must produce exactly what Snapshot produces, and refreshing a
+// warm View must not allocate.
+func TestSnapshotIntoMatchesSnapshotAndIsAllocFree(t *testing.T) {
+	sm := sim.New()
+	c, err := New(DefaultConfig(4), sm, func(int) DPMPolicy { return fixedDPM{timeout: 30} })
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g := mat.NewRNG(9)
+	tNow := 0.0
+	for i := 0; i < 25; i++ {
+		tNow += g.Exponential(0.05)
+		j := &Job{ID: i, Arrival: sim.Time(tNow), Duration: 30 + g.Float64()*200,
+			Req: Resources{0.2 + g.Float64()*0.4, 0.1, 0.1}, Server: -1}
+		srv := g.Intn(4)
+		sm.Schedule(j.Arrival, func() { c.Submit(j, srv) })
+	}
+	sm.Run(sim.Time(tNow / 2))
+
+	var reused View
+	c.SnapshotInto(&reused)
+	fresh := c.Snapshot()
+	if fresh.Now != reused.Now || fresh.M != reused.M {
+		t.Fatalf("header mismatch: %+v vs %+v", fresh, reused)
+	}
+	for i := 0; i < fresh.M; i++ {
+		if fresh.Util[i] != reused.Util[i] || fresh.Pending[i] != reused.Pending[i] ||
+			fresh.QueueLen[i] != reused.QueueLen[i] || fresh.InSystem[i] != reused.InSystem[i] ||
+			fresh.State[i] != reused.State[i] {
+			t.Fatalf("server %d mismatch", i)
+		}
+	}
+	if raceEnabled {
+		t.Skip("allocation pinning is meaningless under -race")
+	}
+	avg := testing.AllocsPerRun(200, func() { c.SnapshotInto(&reused) })
+	if avg != 0 {
+		t.Fatalf("warm SnapshotInto allocates %v per call, want 0", avg)
+	}
+}
+
 // Energy must be conserved across DPM policies in the sense that for an
 // identical workload, total energy == integral of reported power. We verify
 // by sampling TotalPower at every event and integrating manually.

@@ -30,11 +30,26 @@ type Job struct {
 
 	started  bool
 	finished bool
+
+	// srv is the server executing the job, set when resources are granted;
+	// the completion event carries the job as its payload and dispatches
+	// through this back-pointer.
+	srv *Server
 }
 
 // NewJob builds a cluster job from a trace record.
 func NewJob(tj trace.Job) *Job {
-	return &Job{
+	j := &Job{}
+	j.Renew(tj)
+	return j
+}
+
+// Renew re-initializes a completed (or fresh) Job in place from a trace
+// record, so runners can pool Job objects instead of allocating one per
+// arrival. Every field is reset; the result is indistinguishable from
+// NewJob's.
+func (j *Job) Renew(tj trace.Job) {
+	*j = Job{
 		ID:       tj.ID,
 		Arrival:  sim.Time(tj.Arrival),
 		Duration: tj.Duration,

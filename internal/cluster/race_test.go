@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector instruments this build;
+// exact allocation pins are skipped under -race.
+const raceEnabled = true

@@ -115,7 +115,7 @@ type Server struct {
 	pending Resources // cached sum of queued jobs' demands
 	running int
 
-	timeout *sim.Timer
+	timeout sim.Timer
 
 	// Energy accounting.
 	lastT     sim.Time
@@ -276,7 +276,7 @@ func (s *Server) Submit(j *Job) {
 	s.pending = s.pending.Add(j.Req)
 	// Cancel a pending idle timeout: the server has work again.
 	if s.timeout.Cancel() {
-		s.timeout = nil
+		s.timeout = sim.Timer{}
 	}
 
 	switch s.state {
@@ -293,10 +293,18 @@ func (s *Server) Submit(j *Job) {
 	s.dpm.OnArrival(now, s, stateBefore)
 }
 
+// Event trampolines: package-level functions plus a pointer-shaped argument
+// make every hot-path Schedule call allocation-free (no closure, no method
+// value).
+func serverWakeComplete(a any)     { a.(*Server).onWakeComplete() }
+func serverShutdownComplete(a any) { a.(*Server).onShutdownComplete() }
+func serverTimeoutExpire(a any)    { a.(*Server).onTimeoutExpire() }
+func jobComplete(a any)            { j := a.(*Job); j.srv.onJobComplete(j) }
+
 func (s *Server) beginWake() {
 	s.state = StateWaking
 	s.wakeups++
-	s.sm.ScheduleAfter(s.cfg.TonSeconds, s.onWakeComplete)
+	s.sm.ScheduleAfterArg(s.cfg.TonSeconds, serverWakeComplete, s)
 }
 
 func (s *Server) onWakeComplete() {
@@ -329,8 +337,8 @@ func (s *Server) tryStart() {
 		s.running++
 		head.Started = now
 		head.started = true
-		j := head
-		s.sm.ScheduleAfter(j.Duration, func() { s.onJobComplete(j) })
+		head.srv = s
+		s.sm.ScheduleAfterArg(head.Duration, jobComplete, head)
 	}
 }
 
@@ -367,12 +375,12 @@ func (s *Server) enterIdleEpoch() {
 	case math.IsInf(timeout, 1):
 		// Stay active indefinitely.
 	default:
-		s.timeout = s.sm.ScheduleAfter(timeout, s.onTimeoutExpire)
+		s.timeout = s.sm.ScheduleAfterArg(timeout, serverTimeoutExpire, s)
 	}
 }
 
 func (s *Server) onTimeoutExpire() {
-	s.timeout = nil
+	s.timeout = sim.Timer{}
 	if s.state != StateActive || s.running != 0 || len(s.queue) != 0 {
 		panic(fmt.Sprintf("cluster: server %d timeout expired in state %v run=%d q=%d",
 			s.id, s.state, s.running, len(s.queue)))
@@ -384,7 +392,7 @@ func (s *Server) onTimeoutExpire() {
 func (s *Server) beginShutdown() {
 	s.state = StateShuttingDown
 	s.shutdowns++
-	s.sm.ScheduleAfter(s.cfg.ToffSeconds, s.onShutdownComplete)
+	s.sm.ScheduleAfterArg(s.cfg.ToffSeconds, serverShutdownComplete, s)
 }
 
 func (s *Server) onShutdownComplete() {

@@ -75,6 +75,18 @@ type Agent struct {
 	// aeSamples buffers group states for offline autoencoder pretraining.
 	aeSamples   []mat.Vec
 	aeSampleCap int
+
+	// Decision-epoch scratch: every per-epoch buffer (encoded state, Q
+	// values, fit candidates, training batch assembly) is retained on the
+	// agent, so a warm Allocate call performs no heap allocation.
+	encScratch  State
+	qScratch    mat.Vec
+	fitScratch  []int
+	idxScratch  []int
+	nextScratch []State
+	missScratch []int
+	itemScratch []TrainItem
+	maxQScratch []float64
 }
 
 // NewAgent builds a DRL agent for a cluster of m servers.
@@ -132,18 +144,23 @@ func (a *Agent) ObserveCluster(t sim.Time, powerW float64, jobsInSystem int, rel
 // the next action epsilon-greedily from the DNN's Q estimates, and triggers
 // minibatch training at sequence boundaries.
 func (a *Agent) Allocate(j *cluster.Job, v *cluster.View) int {
-	state := a.enc.Encode(v, j)
+	a.enc.EncodeInto(v, j, &a.encScratch)
+	state := a.encScratch
 	a.bufferAESamples(state)
 
 	if a.hasPending {
 		rEq, tau := a.integ.EquivalentRate(v.Now.Seconds())
-		a.replay.Add(Transition{
-			S:      a.pendingState,
-			Action: a.pendingAction,
-			REq:    rEq,
-			Tau:    tau,
-			Next:   state.Clone(),
-		})
+		// Build the transition in the replay slot it will occupy, recycling
+		// the evicted transition's state buffers instead of cloning into
+		// fresh ones.
+		tr := a.replay.NextSlot()
+		a.pendingState.CloneInto(&tr.S)
+		tr.Action = a.pendingAction
+		tr.REq = rEq
+		tr.Tau = tau
+		state.CloneInto(&tr.Next)
+		tr.Terminal = false
+		a.replay.CommitSlot()
 	}
 
 	var action int
@@ -159,7 +176,7 @@ func (a *Agent) Allocate(j *cluster.Job, v *cluster.View) int {
 		}
 	} else {
 		best := a.greedyAction(state, j, v)
-		action = a.eps.Select(a.enc.M(), func() int { return best })
+		action = a.eps.SelectAction(a.enc.M(), best)
 		// Guided exploration: when epsilon fired, re-draw uniformly among
 		// servers the job actually fits on right now, so exploration does
 		// not systematically build queues (documented deviation; DESIGN.md
@@ -170,7 +187,7 @@ func (a *Agent) Allocate(j *cluster.Job, v *cluster.View) int {
 	}
 
 	a.actionCounts[action]++
-	a.pendingState = state.Clone()
+	state.CloneInto(&a.pendingState)
 	a.pendingAction = action
 	a.pendingTime = v.Now
 	a.hasPending = true
@@ -188,11 +205,15 @@ func (a *Agent) Allocate(j *cluster.Job, v *cluster.View) int {
 // to servers whose committed load accommodates the job; when nothing fits it
 // falls back to the least-committed server.
 func (a *Agent) greedyAction(state State, j *cluster.Job, v *cluster.View) int {
+	if a.qScratch == nil {
+		a.qScratch = mat.NewVec(a.enc.M())
+	}
+	a.net.QValuesInto(state, a.qScratch)
+	q := a.qScratch
 	if !a.cfg.MaskUnfit {
-		best, _ := a.net.Best(state)
+		best, _ := q.Max()
 		return best
 	}
-	q := a.net.QValues(state)
 	best := -1
 	bestQ := 0.0
 	for i := 0; i < v.M; i++ {
@@ -225,7 +246,7 @@ func (a *Agent) greedyAction(state State, j *cluster.Job, v *cluster.View) int {
 // within committed capacity (running + queued demand), falling back to a
 // fully uniform draw when no server fits.
 func (a *Agent) exploreFit(j *cluster.Job, v *cluster.View) int {
-	fits := make([]int, 0, v.M)
+	fits := a.fitScratch[:0]
 	for i := 0; i < v.M; i++ {
 		total := v.Util[i].Add(v.Pending[i]).Add(j.Req)
 		ok := true
@@ -239,6 +260,7 @@ func (a *Agent) exploreFit(j *cluster.Job, v *cluster.View) int {
 			fits = append(fits, i)
 		}
 	}
+	a.fitScratch = fits
 	if len(fits) == 0 {
 		return a.rng.Intn(v.M)
 	}
@@ -260,20 +282,23 @@ func (a *Agent) FinishEpisode(t sim.Time) {
 		return
 	}
 	rEq, tau := a.integ.EquivalentRate(t.Seconds())
-	a.replay.Add(Transition{
-		S:        a.pendingState,
-		Action:   a.pendingAction,
-		REq:      rEq,
-		Tau:      tau,
-		Terminal: true,
-	})
+	tr := a.replay.NextSlot()
+	a.pendingState.CloneInto(&tr.S)
+	tr.Action = a.pendingAction
+	tr.REq = rEq
+	tr.Tau = tau
+	tr.Terminal = true
+	// tr.Next keeps the evicted slot's buffers: terminal transitions never
+	// bootstrap, so the successor state is dead weight either way.
+	a.replay.CommitSlot()
 	a.hasPending = false
 }
 
 // trainStep samples a minibatch, computes SMDP targets with the target
 // network (Eqn. 2), and applies one clipped Adam update.
 func (a *Agent) trainStep() {
-	idxs := a.replay.SampleIndices(a.cfg.MiniBatch, a.rng)
+	idxs := a.replay.SampleIndicesInto(a.idxScratch[:0], a.cfg.MiniBatch, a.rng)
+	a.idxScratch = idxs
 	if a.tgtQVal == nil {
 		cap := a.replay.Cap()
 		a.tgtQVal = make([]float64, cap)
@@ -284,8 +309,8 @@ func (a *Agent) trainStep() {
 	// network in one batched forward (identical values to per-item Best);
 	// memoized slots reuse the bit-identical value computed under the same
 	// target-network version.
-	nexts := make([]State, 0, len(idxs))
-	miss := make([]int, 0, len(idxs))
+	nexts := a.nextScratch[:0]
+	miss := a.missScratch[:0]
 	for _, idx := range idxs {
 		tr := a.replay.At(idx)
 		if tr.Terminal {
@@ -301,23 +326,30 @@ func (a *Agent) trainStep() {
 		nexts = append(nexts, tr.Next)
 		miss = append(miss, idx)
 	}
-	maxQ := a.tgt.MaxQBatch(nexts)
+	a.nextScratch = nexts
+	a.missScratch = miss
+	if cap(a.maxQScratch) < len(nexts) {
+		a.maxQScratch = make([]float64, len(nexts))
+	}
+	maxQ := a.maxQScratch[:len(nexts)]
+	a.tgt.MaxQBatchInto(nexts, maxQ)
 	for i, idx := range miss {
 		a.tgtQVal[idx] = maxQ[i]
 	}
-	items := make([]TrainItem, len(idxs))
-	for i, idx := range idxs {
+	items := a.itemScratch[:0]
+	for _, idx := range idxs {
 		tr := a.replay.At(idx)
 		var next float64
 		if !tr.Terminal {
 			next = a.tgtQVal[idx]
 		}
-		items[i] = TrainItem{
+		items = append(items, TrainItem{
 			S:      tr.S,
 			Action: tr.Action,
 			Target: rl.SMDPTarget(a.cfg.Beta, tr.Tau, tr.REq, next),
-		}
+		})
 	}
+	a.itemScratch = items
 	loss := a.net.TrainBatch(items, a.opt)
 	a.lossSum += loss
 	a.lossN++
@@ -347,9 +379,10 @@ func (a *Agent) bufferAESamples(s State) {
 		if len(a.aeSamples) < a.aeSampleCap {
 			a.aeSamples = append(a.aeSamples, g.Clone())
 		} else {
-			// Reservoir-style replacement keeps the buffer representative.
+			// Reservoir-style replacement keeps the buffer representative;
+			// overwriting the victim in place keeps it allocation-free.
 			idx := a.rng.Intn(a.aeSampleCap)
-			a.aeSamples[idx] = g.Clone()
+			a.aeSamples[idx].CopyFrom(g)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package global
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"hierdrl/internal/cluster"
@@ -235,5 +236,89 @@ func TestAgentWeightsRoundTrip(t *testing.T) {
 	}
 	if err := c.LoadWeights(&buf2); err == nil {
 		t.Fatal("architecture mismatch accepted")
+	}
+}
+
+// One warm decision epoch — encode, transition close into the pooled replay
+// slot, Q inference, action selection, reward-integrator reset — must not
+// allocate. Training epochs (every TrainEvery-th call) run batched
+// forward/backward closures and are pinned to a small budget instead.
+func TestAllocateEpochZeroAllocOnceWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pinning is meaningless under -race")
+	}
+	m := 6
+	cfg := DefaultConfig(m)
+	cfg.AEHidden = []int{8, 4}
+	cfg.SubQHidden = 16
+	cfg.ReplayCap = 64 // small ring so the slot pool wraps (and warms) fast
+	cfg.MiniBatch = 8
+	cfg.TrainEvery = 8
+	a, err := NewAgent(cfg, m, mat.NewRNG(5))
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	// Shrink the AE sample reservoir so its append-growth phase (which
+	// legitimately allocates) finishes during warmup and the steady-state
+	// in-place replacement path is what gets measured.
+	a.aeSampleCap = 16
+	v := testView(m, []float64{0.1, 0.9, 0.3, 0.0, 0.5, 0.2})
+	j := testJob(0.2, 300)
+	a.ObserveCluster(0, 200, 2, 0.5)
+	now := 0.0
+	epoch := func() {
+		now += 5
+		v.Now = sim.Time(now)
+		a.ObserveCluster(v.Now, 210, 3, 0.4)
+		a.Allocate(j, v)
+	}
+	// Warm every path: fill the AE sample reservoir's append phase is too
+	// big to exhaust here, so cap it by running enough epochs to wrap the
+	// replay ring twice and exercise several training rounds.
+	for i := 0; i < 3*cfg.ReplayCap; i++ {
+		epoch()
+	}
+
+	// Non-training epochs: exactly zero. AllocsPerRun(1, ...) runs epoch
+	// twice (warmup + measured); across TrainEvery probes at least one
+	// measured run is training-free. The reservoir replacement, replay
+	// write, inference and selection paths must all be allocation-free, so
+	// the *minimum* observed is 0.
+	min := math.Inf(1)
+	for k := 0; k < cfg.TrainEvery; k++ {
+		if avg := testing.AllocsPerRun(1, epoch); avg < min {
+			min = avg
+		}
+	}
+	if min != 0 {
+		t.Fatalf("warm non-training Allocate epoch allocates %v, want 0", min)
+	}
+	// Averaged over a full train cycle the budget stays small: the only
+	// remaining allocations are the batched-backprop closures inside the
+	// TrainEvery-th epoch.
+	avg := testing.AllocsPerRun(8*cfg.TrainEvery, epoch)
+	if avg > 8 {
+		t.Fatalf("amortized Allocate epoch allocates %v, want <= 8", avg)
+	}
+}
+
+// The AE sample reservoir keeps growing until its cap; make sure the
+// replacement path (the steady state) really overwrites in place.
+func TestAESampleReservoirReplacesInPlace(t *testing.T) {
+	a := newTestAgent(t, 4)
+	v := testView(4, []float64{0.1, 0.2, 0.3, 0.4})
+	a.ObserveCluster(0, 200, 2, 0)
+	for i := 0; i < 10; i++ {
+		v.Now = sim.Time(float64(i+1) * 10)
+		a.ObserveCluster(v.Now, 200, 2, 0)
+		a.Allocate(testJob(0.2, 300), v)
+	}
+	if len(a.aeSamples) == 0 {
+		t.Fatal("no AE samples buffered")
+	}
+	for _, s := range a.aeSamples {
+		if len(s) != a.enc.GroupDim() {
+			t.Fatalf("sample length %d want %d", len(s), a.enc.GroupDim())
+		}
 	}
 }

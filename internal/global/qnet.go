@@ -38,6 +38,11 @@ type QNetwork struct {
 	// their networks.
 	ws        *mat.Workspace
 	remoteBuf []mat.Vec
+
+	// params caches the Params() enumeration: the parameter tensors are
+	// fixed at construction, so the slice (and the formatted names) never
+	// change, and rebuilding it per training step would allocate.
+	params []nn.Param
 }
 
 // NewQNetwork builds the network for the given encoder and config.
@@ -230,14 +235,25 @@ func (n *QNetwork) Best(s State) (action int, value float64) {
 // Each value is bitwise identical to QValues(s).Max().
 func (n *QNetwork) MaxQBatch(states []State) []float64 {
 	vals := make([]float64, len(states))
+	n.MaxQBatchInto(states, vals)
+	return vals
+}
+
+// MaxQBatchInto is MaxQBatch writing into a caller-owned slice of length
+// len(states); with a retained dst the call is allocation-free at steady
+// state.
+func (n *QNetwork) MaxQBatchInto(states []State, vals []float64) {
+	if len(vals) != len(states) {
+		panic(fmt.Sprintf("global: MaxQBatchInto dst length %d want %d", len(vals), len(states)))
+	}
 	if len(states) == 0 {
-		return vals
+		return
 	}
 	if !n.cfg.ShareWeights {
 		for i, s := range states {
 			_, vals[i] = n.Best(s)
 		}
-		return vals
+		return
 	}
 	K := n.enc.K()
 	G := n.enc.GroupSize()
@@ -277,7 +293,6 @@ func (n *QNetwork) MaxQBatch(states []State) []float64 {
 		}
 		_, vals[i] = out.Max()
 	}
-	return vals
 }
 
 // Q returns the value estimate of one (state, action) pair.
@@ -534,22 +549,25 @@ func (n *QNetwork) PretrainAutoencoder(samples []mat.Vec, epochs, batchSize int,
 
 // Params enumerates the trainable parameters of the online Q path (encoder
 // weights plus Sub-Q heads; decoder weights train only in
-// PretrainAutoencoder).
+// PretrainAutoencoder). The enumeration is cached: the tensors are fixed at
+// construction, so repeated calls (one per training step) return the same
+// slice without allocating.
 func (n *QNetwork) Params() []nn.Param {
-	var ps []nn.Param
-	for i, ae := range n.aes {
-		for _, p := range ae.Enc.Params() {
-			p.Name = fmt.Sprintf("ae%d.%s", i, p.Name)
-			ps = append(ps, p)
+	if n.params == nil {
+		for i, ae := range n.aes {
+			for _, p := range ae.Enc.Params() {
+				p.Name = fmt.Sprintf("ae%d.%s", i, p.Name)
+				n.params = append(n.params, p)
+			}
+		}
+		for i, sub := range n.subs {
+			for _, p := range sub.Params() {
+				p.Name = fmt.Sprintf("subq%d.%s", i, p.Name)
+				n.params = append(n.params, p)
+			}
 		}
 	}
-	for i, sub := range n.subs {
-		for _, p := range sub.Params() {
-			p.Name = fmt.Sprintf("subq%d.%s", i, p.Name)
-			ps = append(ps, p)
-		}
-	}
-	return ps
+	return n.params
 }
 
 // NumParams returns the scalar parameter count of the online Q path.

@@ -118,7 +118,53 @@ type State struct {
 
 // Encode captures the full state at a job arrival.
 func (e *Encoder) Encode(v *cluster.View, j *cluster.Job) State {
-	return State{Groups: e.GroupStates(v), Job: e.JobState(j)}
+	var s State
+	e.EncodeInto(v, j, &s)
+	return s
+}
+
+// EncodeInto captures the full state at a job arrival into dst, reusing its
+// buffers when already shaped for this encoder. The written values are
+// identical to Encode's; after the first call on a given State the refresh
+// is allocation-free, which makes the decision epoch's encode step free of
+// heap traffic.
+func (e *Encoder) EncodeInto(v *cluster.View, j *cluster.Job, dst *State) {
+	if v.M != e.m {
+		panic(fmt.Sprintf("global: snapshot M=%d encoder M=%d", v.M, e.m))
+	}
+	if len(dst.Groups) != e.k {
+		dst.Groups = make([]mat.Vec, e.k)
+	}
+	const maxCommitted = 2.0
+	gd := e.GroupDim()
+	for k := 0; k < e.k; k++ {
+		g := dst.Groups[k]
+		if len(g) != gd {
+			g = mat.NewVec(gd)
+			dst.Groups[k] = g
+		}
+		for o := 0; o < e.groupSize; o++ {
+			srv := e.ServerOf(k, o)
+			for p := 0; p < cluster.NumResources; p++ {
+				committed := v.Util[srv][p] + v.Pending[srv][p]
+				if committed > maxCommitted {
+					committed = maxCommitted
+				}
+				g[o*cluster.NumResources+p] = committed
+			}
+		}
+	}
+	if len(dst.Job) != e.JobDim() {
+		dst.Job = mat.NewVec(e.JobDim())
+	}
+	for p := 0; p < cluster.NumResources; p++ {
+		dst.Job[p] = j.Req[p]
+	}
+	d := j.Duration / e.durNorm
+	if d > 1 {
+		d = 1
+	}
+	dst.Job[cluster.NumResources] = d
 }
 
 // Clone deep-copies the state (replay transitions must not alias live
@@ -129,4 +175,23 @@ func (s State) Clone() State {
 		out.Groups[i] = g.Clone()
 	}
 	return out
+}
+
+// CloneInto deep-copies s into dst, reusing dst's buffers when already
+// shaped like s. Pooled replay slots use it so storing a transition stops
+// allocating once the buffer pool is warm.
+func (s State) CloneInto(dst *State) {
+	if len(dst.Groups) != len(s.Groups) {
+		dst.Groups = make([]mat.Vec, len(s.Groups))
+	}
+	for i, g := range s.Groups {
+		if len(dst.Groups[i]) != len(g) {
+			dst.Groups[i] = mat.NewVec(len(g))
+		}
+		copy(dst.Groups[i], g)
+	}
+	if len(dst.Job) != len(s.Job) {
+		dst.Job = mat.NewVec(len(s.Job))
+	}
+	copy(dst.Job, s.Job)
 }

@@ -340,3 +340,76 @@ func TestConstructorPanics(t *testing.T) {
 		})
 	}
 }
+
+// referenceBPTT is the closure-based unroll the buffered BPTT replaced:
+// Dense.Forward + Cell.Step per time step, backward in descending time. The
+// rewritten BPTT must reproduce its loss and every accumulated gradient
+// bit for bit.
+func referenceBPTT(n *Network, window []float64, target, weight float64) float64 {
+	inBacks := make([]func(mat.Vec) mat.Vec, len(window))
+	stepBacks := make([]StepBack, len(window))
+	st := n.cell.NewState()
+	for t, v := range window {
+		cellIn, inBack := n.in.Forward(mat.Vec{v})
+		var back StepBack
+		st, back = n.cell.Step(cellIn, st)
+		inBacks[t] = inBack
+		stepBacks[t] = back
+	}
+	pred, outBack := n.out.Forward(st.H)
+	err := pred[0] - target
+	dH := outBack(mat.Vec{2 * weight * err})
+	dC := mat.NewVec(n.cfg.Hidden)
+	for t := len(window) - 1; t >= 0; t-- {
+		dx, dHPrev, dCPrev := stepBacks[t](dH, dC)
+		inBacks[t](dx)
+		dH, dC = dHPrev, dCPrev
+	}
+	return err * err
+}
+
+func TestBPTTMatchesClosureReferenceBitwise(t *testing.T) {
+	cfg := NetworkConfig{CellIn: 2, Hidden: 9, InitStd: 0.4, InitBias: 0.1}
+	a := NewNetwork(cfg, mat.NewRNG(11))
+	b := NewNetwork(cfg, mat.NewRNG(11))
+	g := mat.NewRNG(12)
+	for round := 0; round < 5; round++ {
+		window := make([]float64, 6+round)
+		for i := range window {
+			window[i] = g.Normal(0, 1)
+		}
+		target := g.Normal(0, 1)
+		lossA := a.BPTT(window, target, 0.5)
+		lossB := referenceBPTT(b, window, target, 0.5)
+		if lossA != lossB {
+			t.Fatalf("round %d: loss %v != reference %v", round, lossA, lossB)
+		}
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Grad {
+			if pa[i].Grad[j] != pb[i].Grad[j] {
+				t.Fatalf("param %s grad[%d]: %v != reference %v",
+					pa[i].Name, j, pa[i].Grad[j], pb[i].Grad[j])
+			}
+		}
+	}
+}
+
+func TestBPTTZeroAllocOnceWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pinning is meaningless under -race")
+	}
+	net := NewNetwork(DefaultNetworkConfig(), mat.NewRNG(3))
+	window := make([]float64, 35)
+	g := mat.NewRNG(4)
+	for i := range window {
+		window[i] = g.Normal(0, 1)
+	}
+	net.BPTT(window, 0.3, 1) // warm the scratch
+	net.Params()             // warm the enumeration cache
+	avg := testing.AllocsPerRun(50, func() { net.BPTT(window, 0.3, 1) })
+	if avg != 0 {
+		t.Fatalf("warm BPTT allocates %v per sample, want 0", avg)
+	}
+}

@@ -2,6 +2,7 @@ package lstm
 
 import (
 	"fmt"
+	"math"
 
 	"hierdrl/internal/mat"
 	"hierdrl/internal/nn"
@@ -45,6 +46,15 @@ type Network struct {
 	xIn        mat.Vec
 	cellIn     mat.Vec
 	outBuf     mat.Vec
+
+	// bptt holds the training scratch: per-step saved activations plus the
+	// backward-pass work vectors. Sized on first use and reused for every
+	// subsequent BPTT sample, so steady-state training allocates nothing.
+	bptt bpttScratch
+
+	// params caches the parameter enumeration (tensors are fixed at
+	// construction; rebuilding the slice per optimizer round allocates).
+	params []nn.Param
 }
 
 // NewNetwork builds the network described by cfg.
@@ -91,53 +101,167 @@ func (n *Network) Predict(window []float64) float64 {
 	return n.outBuf[0]
 }
 
-// trainState bundles the per-step closures of one BPTT unroll.
-type trainState struct {
-	inBacks   []func(mat.Vec) mat.Vec
-	stepBacks []StepBack
-	final     State
+// bpttStep holds one time step's saved activations: everything the backward
+// pass reads. One set per step, reused across BPTT samples.
+type bpttStep struct {
+	x      mat.Vec // scalar network input, length 1
+	inPre  mat.Vec // input-layer pre-activation (CellIn)
+	cellIn mat.Vec // input-layer output = cell input (CellIn)
+	z      mat.Vec // [cellIn ; hPrev] gate input (CellIn+Hidden)
+	fPre   mat.Vec // gate pre-activations and outputs (Hidden each)
+	f      mat.Vec
+	iPre   mat.Vec
+	i      mat.Vec
+	gPre   mat.Vec
+	g      mat.Vec
+	oPre   mat.Vec
+	o      mat.Vec
+	c      mat.Vec // cell state after the step
+	tanhC  mat.Vec
+	h      mat.Vec // hidden state after the step
 }
 
-func (n *Network) unroll(window []float64) trainState {
-	ts := trainState{
-		inBacks:   make([]func(mat.Vec) mat.Vec, len(window)),
-		stepBacks: make([]StepBack, len(window)),
+// bpttScratch is the full training scratch of one network: per-step saved
+// activations plus the backward-pass work vectors.
+type bpttScratch struct {
+	steps []bpttStep
+	zeroC mat.Vec // the all-zero initial cell state (never written)
+
+	outPre, outY, dyOut, dPreOut mat.Vec // output-layer buffers (length 1)
+	dxIn, dPreIn                 mat.Vec // input-layer backward scratch
+
+	dH, dC, dO, dCTotal, dF, dI, dG, dCPrev mat.Vec // Hidden each
+	dz, dzTmp, dPre                         mat.Vec // gate backward scratch
+}
+
+func (n *Network) ensureBPTT(steps int) {
+	b := &n.bptt
+	hidden := n.cfg.Hidden
+	cellIn := n.cfg.CellIn
+	for len(b.steps) < steps {
+		b.steps = append(b.steps, bpttStep{
+			x:      mat.NewVec(1),
+			inPre:  mat.NewVec(cellIn),
+			cellIn: mat.NewVec(cellIn),
+			z:      mat.NewVec(cellIn + hidden),
+			fPre:   mat.NewVec(hidden),
+			f:      mat.NewVec(hidden),
+			iPre:   mat.NewVec(hidden),
+			i:      mat.NewVec(hidden),
+			gPre:   mat.NewVec(hidden),
+			g:      mat.NewVec(hidden),
+			oPre:   mat.NewVec(hidden),
+			o:      mat.NewVec(hidden),
+			c:      mat.NewVec(hidden),
+			tanhC:  mat.NewVec(hidden),
+			h:      mat.NewVec(hidden),
+		})
 	}
-	st := n.cell.NewState()
-	for t, v := range window {
-		cellIn, inBack := n.in.Forward(mat.Vec{v})
-		var back StepBack
-		st, back = n.cell.Step(cellIn, st)
-		ts.inBacks[t] = inBack
-		ts.stepBacks[t] = back
+	if b.zeroC == nil {
+		b.zeroC = mat.NewVec(hidden)
+		b.outPre = mat.NewVec(1)
+		b.outY = mat.NewVec(1)
+		b.dyOut = mat.NewVec(1)
+		b.dPreOut = mat.NewVec(1)
+		b.dxIn = mat.NewVec(1)
+		b.dPreIn = mat.NewVec(cellIn)
+		b.dH = mat.NewVec(hidden)
+		b.dC = mat.NewVec(hidden)
+		b.dO = mat.NewVec(hidden)
+		b.dCTotal = mat.NewVec(hidden)
+		b.dF = mat.NewVec(hidden)
+		b.dI = mat.NewVec(hidden)
+		b.dG = mat.NewVec(hidden)
+		b.dCPrev = mat.NewVec(hidden)
+		b.dz = mat.NewVec(cellIn + hidden)
+		b.dzTmp = mat.NewVec(cellIn + hidden)
+		b.dPre = mat.NewVec(hidden)
 	}
-	ts.final = st
-	return ts
 }
 
 // BPTT runs one forward+backward pass for a single (window, target) sample,
 // accumulating gradients (scaled by weight) into the network parameters and
 // returning the squared prediction error.
+//
+// All activations are saved in reusable per-step buffers and the backward
+// pass walks them in place, so a warm call performs no heap allocation. The
+// arithmetic — op for op, including the gate order F, I, G, O and the
+// descending-time gradient accumulation — replays the closure-based
+// reference unroll exactly, so every gradient (and therefore every trained
+// weight) is bitwise identical to it; lstm_test asserts this.
 func (n *Network) BPTT(window []float64, target, weight float64) float64 {
 	if len(window) == 0 {
 		panic("lstm: BPTT empty window")
 	}
-	ts := n.unroll(window)
-	pred, outBack := n.out.Forward(ts.final.H)
-	err := pred[0] - target
+	n.ensureBPTT(len(window))
+	b := &n.bptt
+	in, hid := n.cfg.CellIn, n.cfg.Hidden
+
+	// Forward unroll with saved activations.
+	hPrev, cPrev := b.zeroC, b.zeroC
+	for t, v := range window {
+		st := &b.steps[t]
+		st.x[0] = v
+		n.in.ForwardSaved(st.x, st.inPre, st.cellIn)
+		copy(st.z[:in], st.cellIn)
+		copy(st.z[in:], hPrev)
+		n.cell.forget.ForwardSaved(st.z, st.fPre, st.f)
+		n.cell.input.ForwardSaved(st.z, st.iPre, st.i)
+		n.cell.cand.ForwardSaved(st.z, st.gPre, st.g)
+		n.cell.output.ForwardSaved(st.z, st.oPre, st.o)
+		for k := 0; k < hid; k++ {
+			st.c[k] = st.f[k]*cPrev[k] + st.i[k]*st.g[k]
+		}
+		for k := 0; k < hid; k++ {
+			st.tanhC[k] = math.Tanh(st.c[k])
+		}
+		for k := 0; k < hid; k++ {
+			st.h[k] = st.o[k] * st.tanhC[k]
+		}
+		hPrev, cPrev = st.h, st.c
+	}
+
+	// Output layer and loss gradient.
+	final := &b.steps[len(window)-1]
+	n.out.ForwardSaved(final.h, b.outPre, b.outY)
+	err := b.outY[0] - target
 	// d(weight * err^2)/dpred = 2*weight*err
-	dH := outBack(mat.Vec{2 * weight * err})
-	dC := mat.NewVec(n.cfg.Hidden)
+	b.dyOut[0] = 2 * weight * err
+	n.out.BackwardSaved(final.h, b.outPre, b.outY, b.dyOut, b.dPreOut, b.dH)
+	b.dC.Zero()
+
+	// Backward through time: per step the gates backpropagate in F, I, G, O
+	// order, then the input layer — the exact parameter-gradient
+	// accumulation sequence of the reference unroll.
 	for t := len(window) - 1; t >= 0; t-- {
-		dx, dHPrev, dCPrev := ts.stepBacks[t](dH, dC)
-		n.inBack(ts.inBacks[t], dx)
-		dH, dC = dHPrev, dCPrev
+		st := &b.steps[t]
+		cPrev := b.zeroC
+		if t > 0 {
+			cPrev = b.steps[t-1].c
+		}
+		for k := 0; k < hid; k++ {
+			b.dO[k] = b.dH[k] * st.tanhC[k]
+			b.dCTotal[k] = b.dH[k]*st.o[k]*(1-st.tanhC[k]*st.tanhC[k]) + b.dC[k]
+		}
+		for k := 0; k < hid; k++ {
+			b.dF[k] = b.dCTotal[k] * cPrev[k]
+			b.dI[k] = b.dCTotal[k] * st.g[k]
+			b.dG[k] = b.dCTotal[k] * st.i[k]
+			b.dCPrev[k] = b.dCTotal[k] * st.f[k]
+		}
+		n.cell.forget.BackwardSaved(st.z, st.fPre, st.f, b.dF, b.dPre, b.dz)
+		n.cell.input.BackwardSaved(st.z, st.iPre, st.i, b.dI, b.dPre, b.dzTmp)
+		b.dz.Add(b.dzTmp)
+		n.cell.cand.BackwardSaved(st.z, st.gPre, st.g, b.dG, b.dPre, b.dzTmp)
+		b.dz.Add(b.dzTmp)
+		n.cell.output.BackwardSaved(st.z, st.oPre, st.o, b.dO, b.dPre, b.dzTmp)
+		b.dz.Add(b.dzTmp)
+		// Input layer: gradient w.r.t. the scalar input is discarded.
+		n.in.BackwardSaved(st.x, st.inPre, st.cellIn, b.dz[:in], b.dPreIn, b.dxIn)
+		copy(b.dH, b.dz[in:])
+		b.dC, b.dCPrev = b.dCPrev, b.dC
 	}
 	return err * err
-}
-
-func (n *Network) inBack(back func(mat.Vec) mat.Vec, dCellIn mat.Vec) {
-	back(dCellIn) // gradient w.r.t. the scalar input is discarded
 }
 
 // InvalidateTransposes marks every cached weight transpose stale; call
@@ -148,19 +272,22 @@ func (n *Network) InvalidateTransposes() {
 	n.out.InvalidateTranspose()
 }
 
-// Params enumerates every trainable parameter of the network.
+// Params enumerates every trainable parameter of the network. The
+// enumeration is cached — the tensors are fixed at construction, and the
+// online predictor asks for them once per training round.
 func (n *Network) Params() []nn.Param {
-	var ps []nn.Param
-	for _, p := range n.in.Params() {
-		p.Name = "in." + p.Name
-		ps = append(ps, p)
+	if n.params == nil {
+		for _, p := range n.in.Params() {
+			p.Name = "in." + p.Name
+			n.params = append(n.params, p)
+		}
+		n.params = append(n.params, n.cell.Params()...)
+		for _, p := range n.out.Params() {
+			p.Name = "out." + p.Name
+			n.params = append(n.params, p)
+		}
 	}
-	ps = append(ps, n.cell.Params()...)
-	for _, p := range n.out.Params() {
-		p.Name = "out." + p.Name
-		ps = append(ps, p)
-	}
-	return ps
+	return n.params
 }
 
 // NumParams returns the total scalar parameter count.

@@ -87,7 +87,7 @@ func (m *Dense) MulVecT(x, dst Vec) {
 	for j := range dst {
 		dst[j] = 0
 	}
-	gemvTAddRows4(m.Data, m.Rows, m.Cols, x, dst)
+	gemvTAdd(m.Data, m.Rows, m.Cols, x, dst)
 }
 
 // MulVecTAdd computes dst += mᵀ * x.
@@ -96,7 +96,7 @@ func (m *Dense) MulVecTAdd(x, dst Vec) {
 		panic(fmt.Sprintf("mat: MulVecTAdd shape mismatch m=%dx%d len(x)=%d len(dst)=%d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	gemvTAddRows4(m.Data, m.Rows, m.Cols, x, dst)
+	gemvTAdd(m.Data, m.Rows, m.Cols, x, dst)
 }
 
 // AddOuter performs the rank-1 update m += alpha * a * bᵀ, where a has

@@ -34,7 +34,7 @@ func MulMatT(a, b, c *Dense) {
 			for j := range crow {
 				crow[j] = 0
 			}
-			gemvTAddRows4(sb.data, b.Cols, b.Rows, a.Row(i), crow)
+			gemvTAdd(sb.data, b.Cols, b.Rows, a.Row(i), crow)
 		}
 		gemmScratch.Put(sb)
 		return
@@ -67,7 +67,7 @@ func MulMatTWithBT(a, b, bt, c *Dense) {
 			for j := range crow {
 				crow[j] = 0
 			}
-			gemvTAddRows4(bt.Data, bt.Rows, bt.Cols, a.Row(i), crow)
+			gemvTAdd(bt.Data, bt.Rows, bt.Cols, a.Row(i), crow)
 		}
 		return
 	}
@@ -103,7 +103,7 @@ func MulVecWithBT(b, bt *Dense, x, dst Vec) {
 		for j := range dst {
 			dst[j] = 0
 		}
-		gemvTAddRows4(bt.Data, bt.Rows, bt.Cols, x, dst)
+		gemvTAdd(bt.Data, bt.Rows, bt.Cols, x, dst)
 		return
 	}
 	gemvRows4(b.Data, 0, b.Rows, b.Cols, x, dst)
@@ -153,7 +153,7 @@ func MulMat(a, b, c *Dense) {
 		for j := range crow {
 			crow[j] = 0
 		}
-		gemvTAddRows4(b.Data, b.Rows, b.Cols, a.Row(i), crow)
+		gemvTAdd(b.Data, b.Rows, b.Cols, a.Row(i), crow)
 	}
 }
 

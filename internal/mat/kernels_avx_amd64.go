@@ -49,6 +49,7 @@ func detectAVX512() bool {
 func vaxpy4asm(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64)
 func vaxpy1asm(dst, r []float64, x float64)
 func vaxpy4asm512(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64)
+func vaxpy8asm512(dst, r0, r1, r2, r3, r4, r5, r6, r7 []float64, x0, x1, x2, x3, x4, x5, x6, x7 float64)
 func vaxpy1asm512(dst, r []float64, x float64)
 func fusedAdamAsm(val, grad, m, v []float64, b1, omb1, b2, omb2, c1, c2, lr, eps float64)
 
@@ -85,6 +86,24 @@ func vaxpy4Tile(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
 	} else {
 		vaxpy4asm(dst, r0, r1, r2, r3, x0, x1, x2, x3)
 	}
+}
+
+// vaxpy8Tile fuses eight row contributions into one pass over dst (loaded
+// and stored once). Per element the adds arrive in ascending row order, so
+// the result is bitwise identical to two chained vaxpy4Tile calls — which is
+// exactly the fallback when AVX-512 is unavailable. len(dst) must already be
+// a (possibly zero) multiple of 4 and r* at least as long.
+func vaxpy8Tile(dst, r0, r1, r2, r3, r4, r5, r6, r7 []float64,
+	x0, x1, x2, x3, x4, x5, x6, x7 float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX512 {
+		vaxpy8asm512(dst, r0, r1, r2, r3, r4, r5, r6, r7, x0, x1, x2, x3, x4, x5, x6, x7)
+		return
+	}
+	vaxpy4Tile(dst, r0, r1, r2, r3, x0, x1, x2, x3)
+	vaxpy4Tile(dst, r4, r5, r6, r7, x4, x5, x6, x7)
 }
 
 // vaxpy4 computes dst[j] += r0[j]*x0; += r1[j]*x1; += r2[j]*x2; += r3[j]*x3

@@ -21,6 +21,12 @@ func vaxpy4(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
 	}
 }
 
+func vaxpy8Tile(dst, r0, r1, r2, r3, r4, r5, r6, r7 []float64,
+	x0, x1, x2, x3, x4, x5, x6, x7 float64) {
+	vaxpy4(dst, r0, r1, r2, r3, x0, x1, x2, x3)
+	vaxpy4(dst, r4, r5, r6, r7, x4, x5, x6, x7)
+}
+
 func vaxpy1(dst, r []float64, x float64) {
 	for j := range dst {
 		dst[j] += r[j] * x

@@ -14,6 +14,13 @@ import (
 type Autoencoder struct {
 	Enc *MLP
 	Dec *MLP
+
+	// ws is the scratch arena for TrainBatch (inputs, activations,
+	// gradients); params caches the parameter enumeration. Both make warm
+	// pretraining epochs allocation-free. An Autoencoder is not safe for
+	// concurrent use.
+	ws     *mat.Workspace
+	params []Param
 }
 
 // NewAutoencoder builds an autoencoder for input dimension in with the given
@@ -86,19 +93,26 @@ func (a *Autoencoder) TrainBatch(xs []mat.Vec, opt Optimizer, clipNorm float64) 
 	}
 	params := a.Params()
 	ZeroGrads(params)
+	if a.ws == nil {
+		a.ws = mat.NewWorkspace()
+	}
+	ws := a.ws
+	ws.Reset()
 	B := len(xs)
 	in := a.InDim()
-	X := mat.NewDense(B, in)
+	X := ws.TakeMatUninit(B, in)
 	for b, x := range xs {
 		X.Row(b).CopyFrom(x)
 	}
-	codes, encBack := a.Enc.ForwardBatch(X)
-	Y, decBack := a.Dec.ForwardBatch(codes)
+	// The encoder is the graph's input layer: nothing consumes dL/dX, so
+	// skip computing it (parameter gradients are unaffected).
+	codes, encBack := a.Enc.ForwardBatchWS(ws, X, false)
+	Y, decBack := a.Dec.ForwardBatchWS(ws, codes, true)
 
 	var total float64
 	scale := 1 / float64(B)
 	n := float64(in)
-	G := mat.NewDense(B, in)
+	G := ws.TakeMatUninit(B, in)
 	for b := 0; b < B; b++ {
 		yRow, xRow, gRow := Y.Row(b), X.Row(b), G.Row(b)
 		var loss float64
@@ -121,14 +135,17 @@ func (a *Autoencoder) TrainBatch(xs []mat.Vec, opt Optimizer, clipNorm float64) 
 	return total / float64(B)
 }
 
-// Params enumerates encoder and decoder parameters.
+// Params enumerates encoder and decoder parameters (cached — the tensors
+// are fixed at construction).
 func (a *Autoencoder) Params() []Param {
-	ps := a.Enc.Params()
-	for _, p := range a.Dec.Params() {
-		p.Name = "dec." + p.Name
-		ps = append(ps, p)
+	if a.params == nil {
+		a.params = a.Enc.Params()
+		for _, p := range a.Dec.Params() {
+			p.Name = "dec." + p.Name
+			a.params = append(a.params, p)
+		}
 	}
-	return ps
+	return a.params
 }
 
 // CopyWeightsFrom copies all weights from src.

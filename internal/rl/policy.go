@@ -49,6 +49,28 @@ func (p *EpsilonGreedy) Select(nActions int, greedy func() int) int {
 	return a
 }
 
+// SelectAction is Select with the greedy action passed by value instead of
+// through a callback, so hot paths avoid constructing a closure per
+// decision. RNG consumption and results are identical to
+// Select(nActions, func() int { return best }).
+func (p *EpsilonGreedy) SelectAction(nActions, best int) int {
+	if nActions <= 0 {
+		panic("rl: SelectAction requires nActions > 0")
+	}
+	a := best
+	if p.rng.Float64() < p.eps {
+		a = p.rng.Intn(nActions)
+	}
+	p.eps *= p.decay
+	if p.eps < p.min {
+		p.eps = p.min
+	}
+	if a < 0 || a >= nActions {
+		panic(fmt.Sprintf("rl: greedy chose out-of-range action %d", a))
+	}
+	return a
+}
+
 // Epsilon returns the current exploration rate.
 func (p *EpsilonGreedy) Epsilon() float64 { return p.eps }
 

@@ -38,6 +38,24 @@ func (r *Replay[T]) Add(t T) {
 	}
 }
 
+// NextSlot returns a pointer to the slot the next Add would occupy, so the
+// caller can build the transition in place — reusing the evicted
+// transition's buffers instead of allocating fresh ones. The write is not
+// visible to sampling until CommitSlot runs; NextSlot/CommitSlot pairs must
+// not interleave with Add.
+func (r *Replay[T]) NextSlot() *T { return &r.buf[r.next] }
+
+// CommitSlot finalizes a slot populated via NextSlot, with the same
+// bookkeeping as Add (generation bump, cursor advance, wrap-around).
+func (r *Replay[T]) CommitSlot() {
+	r.gens[r.next]++
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.full = true
+	}
+}
+
 // Len returns the number of stored transitions.
 func (r *Replay[T]) Len() int {
 	if r.full {
@@ -68,15 +86,21 @@ func (r *Replay[T]) Sample(n int, rng *mat.RNG) []T {
 // deterministic replays). Use At to dereference and Gen to detect slot
 // reuse across draws.
 func (r *Replay[T]) SampleIndices(n int, rng *mat.RNG) []int {
+	return r.SampleIndicesInto(make([]int, 0, n), n, rng)
+}
+
+// SampleIndicesInto is SampleIndices appending into dst (pass dst[:0] to
+// reuse a retained scratch slice; steady-state calls are allocation-free).
+// RNG consumption is identical to SampleIndices.
+func (r *Replay[T]) SampleIndicesInto(dst []int, n int, rng *mat.RNG) []int {
 	ln := r.Len()
 	if ln == 0 {
 		panic("rl: Sample from empty replay memory")
 	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = rng.Intn(ln)
+	for i := 0; i < n; i++ {
+		dst = append(dst, rng.Intn(ln))
 	}
-	return out
+	return dst
 }
 
 // At returns the transition stored in slot i (0 <= i < Len).

@@ -410,3 +410,67 @@ func TestQTableConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// NextSlot/CommitSlot must behave exactly like Add — same ordering, same
+// generations, same eviction — while letting callers reuse slot memory.
+func TestReplayEmplaceMatchesAdd(t *testing.T) {
+	ra := NewReplay[int](4)
+	rb := NewReplay[int](4)
+	for i := 0; i < 11; i++ {
+		ra.Add(i)
+		slot := rb.NextSlot()
+		*slot = i
+		rb.CommitSlot()
+		if ra.Len() != rb.Len() {
+			t.Fatalf("len diverged: %d vs %d", ra.Len(), rb.Len())
+		}
+	}
+	for i := 0; i < ra.Len(); i++ {
+		if ra.At(i) != rb.At(i) {
+			t.Fatalf("slot %d: %d vs %d", i, ra.At(i), rb.At(i))
+		}
+		if ra.Gen(i) != rb.Gen(i) {
+			t.Fatalf("gen %d: %d vs %d", i, ra.Gen(i), rb.Gen(i))
+		}
+	}
+	if ra.Latest() != rb.Latest() {
+		t.Fatalf("latest: %d vs %d", ra.Latest(), rb.Latest())
+	}
+}
+
+// SampleIndicesInto must consume the RNG identically to SampleIndices.
+func TestSampleIndicesIntoMatchesSampleIndices(t *testing.T) {
+	r := NewReplay[int](32)
+	for i := 0; i < 20; i++ {
+		r.Add(i)
+	}
+	a := r.SampleIndices(16, mat.NewRNG(7))
+	scratch := make([]int, 0, 16)
+	b := r.SampleIndicesInto(scratch[:0], 16, mat.NewRNG(7))
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// SelectAction must consume the RNG identically to Select with a constant
+// greedy callback, including epsilon decay.
+func TestSelectActionMatchesSelect(t *testing.T) {
+	pa := NewEpsilonGreedy(0.5, 0.01, 0.99, mat.NewRNG(3))
+	pb := NewEpsilonGreedy(0.5, 0.01, 0.99, mat.NewRNG(3))
+	for i := 0; i < 200; i++ {
+		best := i % 7
+		a := pa.Select(7, func() int { return best })
+		b := pb.SelectAction(7, best)
+		if a != b {
+			t.Fatalf("step %d: Select %d != SelectAction %d", i, a, b)
+		}
+		if pa.Epsilon() != pb.Epsilon() {
+			t.Fatalf("step %d: epsilon diverged %v vs %v", i, pa.Epsilon(), pb.Epsilon())
+		}
+	}
+}

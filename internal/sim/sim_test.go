@@ -181,6 +181,182 @@ func TestPeekTimeSkipsCancelled(t *testing.T) {
 	}
 }
 
+// raceEnabled is set by race_test.go under -race; exact allocation pins are
+// skipped there (the race runtime instruments allocations).
+func skipAllocPinUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation pinning is meaningless under -race")
+	}
+}
+
+// The steady-state event loop — a self-rearming timer driven through the
+// payload API — must not allocate once the slot pool and heap are warm.
+func TestEventLoopZeroAlloc(t *testing.T) {
+	skipAllocPinUnderRace(t)
+	s := New()
+	var tick func(any)
+	tick = func(a any) {
+		s.ScheduleAfterArg(1, tick, a)
+	}
+	s.ScheduleArg(0, tick, s)
+	for i := 0; i < 100; i++ {
+		s.Step() // warm the pool
+	}
+	avg := testing.AllocsPerRun(1000, func() { s.Step() })
+	if avg != 0 {
+		t.Fatalf("steady-state Step allocates %v per event, want 0", avg)
+	}
+}
+
+// Pending must be O(1)-consistent across schedule, cancel, and fire.
+func TestPendingLiveCount(t *testing.T) {
+	s := New()
+	timers := make([]Timer, 10)
+	for i := range timers {
+		timers[i] = s.Schedule(Time(i+1), func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d want 10", s.Pending())
+	}
+	timers[3].Cancel()
+	timers[7].Cancel()
+	if s.Pending() != 8 {
+		t.Fatalf("Pending after 2 cancels = %d want 8", s.Pending())
+	}
+	s.Step()
+	s.Step()
+	if s.Pending() != 6 {
+		t.Fatalf("Pending after 2 fires = %d want 6", s.Pending())
+	}
+	s.RunAll(100)
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d want 0", s.Pending())
+	}
+}
+
+// A fired timer's slot is recycled; a stale handle must not observe (or be
+// able to cancel) the new occupant.
+func TestStaleHandleCannotTouchRecycledSlot(t *testing.T) {
+	s := New()
+	old := s.Schedule(1, func() {})
+	s.RunAll(10)
+	fired := false
+	fresh := s.Schedule(2, func() { fired = true })
+	if old.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if old.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer lost")
+	}
+	s.RunAll(10)
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+// Cancelling more than half the queue must compact it: the raw heap length
+// drops back to the live count instead of accumulating tombstones.
+func TestCancelledTimerCompaction(t *testing.T) {
+	s := New()
+	n := 4 * minCompactLen
+	timers := make([]Timer, n)
+	for i := range timers {
+		timers[i] = s.Schedule(Time(i+1), func() {})
+	}
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			timers[i].Cancel()
+		}
+	}
+	live := n / 4
+	if s.Pending() != live {
+		t.Fatalf("Pending = %d want %d", s.Pending(), live)
+	}
+	if got := s.queueLen(); got > live+minCompactLen {
+		t.Fatalf("heap holds %d entries for %d live timers; compaction failed", got, live)
+	}
+	fired := 0
+	var last Time
+	for s.Step() {
+		if s.Now() < last {
+			t.Fatal("events fired out of order after compaction")
+		}
+		last = s.Now()
+		fired++
+	}
+	if fired != live {
+		t.Fatalf("fired %d events want %d", fired, live)
+	}
+}
+
+// Compaction must survive the degenerate case where every surviving heap
+// entry is cancelled (the drained-queue-then-final-cancel pattern of long
+// FixedTimeout runs): the heapify of an empty kept slice must not index
+// into it.
+func TestCompactionWithAllEntriesCancelled(t *testing.T) {
+	s := New()
+	n := 2 * minCompactLen
+	// n early live timers, n mid-range timers to cancel, one far-future
+	// live timer. The early pool keeps the heap large enough that the
+	// cancel loop below never crosses the compaction threshold itself.
+	mid := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		s.Schedule(Time(i+1), func() {})
+	}
+	for i := range mid {
+		mid[i] = s.Schedule(Time(100000+i), func() {})
+	}
+	last := s.Schedule(200000, func() {})
+	for i := range mid {
+		mid[i].Cancel()
+	}
+	// Drive Step directly: each call fires one early live event (the top is
+	// always live, so the lazy tombstone discard never runs) and the
+	// cancelled fraction of the heap rises past one half.
+	for i := 0; i < n; i++ {
+		if !s.Step() {
+			t.Fatal("ran out of events early")
+		}
+	}
+	// The heap now holds n tombstones plus one live timer. Cancelling it
+	// triggers compaction with zero survivors; the heapify of the empty
+	// kept slice must not index into it.
+	if !last.Cancel() {
+		t.Fatal("last timer was not pending")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d want 0", s.Pending())
+	}
+	if got := s.queueLen(); got != 0 {
+		t.Fatalf("heap holds %d entries after full cancellation", got)
+	}
+	if s.Step() {
+		t.Fatal("empty simulator stepped")
+	}
+}
+
+// Priority-lane events at a tied timestamp fire before every normal event —
+// even normal events scheduled earlier — and FIFO among themselves.
+func TestPriorityLaneWinsTimestampTies(t *testing.T) {
+	s := New()
+	var order []string
+	s.Schedule(5, func() { order = append(order, "normal1") })
+	s.Schedule(5, func() { order = append(order, "normal2") })
+	s.SchedulePriorityArg(5, func(a any) { order = append(order, a.(string)) }, "prio1")
+	s.SchedulePriorityArg(5, func(a any) { order = append(order, a.(string)) }, "prio2")
+	s.RunAll(10)
+	want := []string{"prio1", "prio2", "normal1", "normal2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v want %v", order, want)
+		}
+	}
+}
+
 // Property: random schedules always fire in non-decreasing time order and
 // the clock matches the last event fired.
 func TestChronologicalProperty(t *testing.T) {
@@ -219,7 +395,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		s := New()
 		n := 1 + g.Intn(40)
 		firedCount := 0
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		for i := range timers {
 			timers[i] = s.Schedule(Time(g.Float64()*50), func() { firedCount++ })
 		}

@@ -3,6 +3,7 @@ package hierdrl
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"hierdrl/internal/cluster"
 	"hierdrl/internal/global"
@@ -205,21 +206,26 @@ func runPass(cfg Config, agent *global.Agent, tr *Trace, rng *mat.RNG, checkpoin
 	}
 
 	col := metrics.NewCollector(cl, checkpointEvery)
-	cl.OnJobDone = col.JobDone
 	if agent != nil {
 		cl.OnChange = func(t sim.Time) {
 			agent.ObserveCluster(t, cl.TotalPower(), cl.JobsInSystem(), cl.ReliabilityObj())
 		}
 	}
 
-	for i := range tr.Jobs {
-		tj := tr.Jobs[i]
-		sm.Schedule(sim.Time(tj.Arrival), func() {
-			j := cluster.NewJob(tj)
-			target := alloc.Allocate(j, cl.Snapshot())
-			cl.Submit(j, target)
-		})
+	// Streaming trace pump: instead of pre-scheduling every trace job as its
+	// own closure (a 95,000-event queue before the first event fires at full
+	// scale), exactly one "next arrival" event is pending at any time and
+	// re-arms itself after each arrival. Peak event-queue size drops to
+	// O(jobs in flight) and per-arrival scheduling is allocation-free.
+	// Priority-lane scheduling reproduces the historical event order exactly:
+	// up-front scheduling gave every arrival a smaller sequence number than
+	// any simulation-spawned event, so arrivals always won timestamp ties.
+	pump := &tracePump{sm: sm, tr: tr, cl: cl, alloc: alloc}
+	cl.OnJobDone = func(t sim.Time, j *cluster.Job) {
+		col.JobDone(t, j)
+		pump.recycle(j)
 	}
+	pump.arm()
 	// Every job submission spawns a bounded number of follow-up events;
 	// 64 events per job is a generous runaway guard.
 	sm.RunAll(int64(tr.Len())*64 + 1024)
@@ -241,6 +247,83 @@ func runPass(cfg Config, agent *global.Agent, tr *Trace, rng *mat.RNG, checkpoin
 		res.TotalShutdowns += cl.Server(i).Shutdowns()
 	}
 	return res, nil
+}
+
+// tracePump streams trace arrivals into the cluster one event at a time:
+// firing arrival i dispatches job i and re-arms the pump for arrival i+1.
+// Completed Job objects are pooled and renewed, so steady-state pumping
+// performs no allocation. Traces are normally sorted by arrival (Validate
+// enforces it); for robustness an unsorted trace is handled through a
+// stable arrival-order index, which reproduces the (arrival, trace-index)
+// firing order the event heap produced when all jobs were pre-scheduled.
+type tracePump struct {
+	sm    *sim.Simulator
+	tr    *Trace
+	cl    *cluster.Cluster
+	alloc policy.Allocator
+	view  cluster.View
+	order []int32 // nil when the trace is already sorted by arrival
+	next  int
+	pool  []*cluster.Job
+}
+
+// pumpFire is the pump's event trampoline (package-level: no closure).
+func pumpFire(a any) { a.(*tracePump).fire() }
+
+// jobAt returns the trace job for pump position i.
+func (p *tracePump) jobAt(i int) trace.Job {
+	if p.order != nil {
+		return p.tr.Jobs[p.order[i]]
+	}
+	return p.tr.Jobs[i]
+}
+
+// arm schedules the next pending arrival (if any) in the priority lane.
+func (p *tracePump) arm() {
+	if p.next == 0 {
+		sorted := true
+		for i := 1; i < len(p.tr.Jobs); i++ {
+			if p.tr.Jobs[i].Arrival < p.tr.Jobs[i-1].Arrival {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			p.order = make([]int32, len(p.tr.Jobs))
+			for i := range p.order {
+				p.order[i] = int32(i)
+			}
+			sort.SliceStable(p.order, func(a, b int) bool {
+				return p.tr.Jobs[p.order[a]].Arrival < p.tr.Jobs[p.order[b]].Arrival
+			})
+		}
+	}
+	if p.next < p.tr.Len() {
+		p.sm.SchedulePriorityArg(sim.Time(p.jobAt(p.next).Arrival), pumpFire, p)
+	}
+}
+
+func (p *tracePump) fire() {
+	tj := p.jobAt(p.next)
+	p.next++
+	var j *cluster.Job
+	if n := len(p.pool); n > 0 {
+		j = p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		j.Renew(tj)
+	} else {
+		j = cluster.NewJob(tj)
+	}
+	target := p.alloc.Allocate(j, p.cl.SnapshotInto(&p.view))
+	p.cl.Submit(j, target)
+	p.arm()
+}
+
+// recycle returns a completed job to the pool. Jobs are handed back from
+// OnJobDone, after the metrics collector has read everything it needs; no
+// component retains job pointers past completion.
+func (p *tracePump) recycle(j *cluster.Job) {
+	p.pool = append(p.pool, j)
 }
 
 // TraceStatsOf summarizes a workload (exposed for examples and tools).
