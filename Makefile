@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full profile clean
+.PHONY: all build test race vet bench bench-full profile examples-smoke clean
 
 all: vet build test
 
@@ -31,6 +31,16 @@ bench:
 bench-full:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_full.json
 	@echo wrote BENCH_full.json
+
+# examples-smoke builds and runs every examples/ program with a tiny job
+# count, exercising the public Session/registry API end to end (CI runs it
+# so API drift breaks the build, not users).
+examples-smoke:
+	$(GO) run ./examples/quickstart -jobs 300 -warmup 80
+	$(GO) run ./examples/datacenter -servers 6 -jobs 250 -warmup 60
+	$(GO) run ./examples/powermanager -jobs 150
+	$(GO) run ./examples/tradeoff -jobs 200 -warmup 50
+	$(GO) run ./examples/pluggable -jobs 200 -servers 4
 
 # profile writes CPU and allocation pprof profiles of the headline
 # experiment benchmark (inspect with `go tool pprof cpu.pprof`).

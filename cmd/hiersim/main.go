@@ -7,13 +7,22 @@
 //	hiersim -system hierarchical -servers 30 -jobs 95000
 //	hiersim -system round-robin -servers 40 -jobs 20000 -series
 //	hiersim -system fixed-timeout -timeout 60 -trace mytrace.csv
+//
+// Streaming mode ingests jobs from stdin line by line through the Session
+// API ("arrival,duration,cpu,mem,disk" CSV rows, header optional), advances
+// the simulated clock as arrivals come in, and prints a live Snapshot
+// summary every -snap-every jobs:
+//
+//	tracegen -jobs 20000 | hiersim -stream -system hierarchical -servers 30
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"hierdrl"
 )
@@ -25,7 +34,7 @@ func main() {
 	system := flag.String("system", "hierarchical",
 		"system to run: round-robin | drl-only | hierarchical | fixed-timeout")
 	servers := flag.Int("servers", 30, "cluster size M")
-	jobs := flag.Int("jobs", 95000, "synthetic workload length (ignored with -trace)")
+	jobs := flag.Int("jobs", 95000, "synthetic workload length (ignored with -trace/-stream)")
 	warmup := flag.Int("warmup", 20000, "offline-phase rollout length for DRL systems")
 	timeout := flag.Float64("timeout", 60, "fixed timeout seconds (system=fixed-timeout)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -33,6 +42,10 @@ func main() {
 	series := flag.Bool("series", false, "print the accumulated latency/energy series")
 	predictor := flag.String("predictor", "lstm",
 		"workload predictor for the hierarchical local tier: lstm | ewma | last-value | window-mean")
+	stream := flag.Bool("stream", false,
+		"read jobs from stdin CSV and simulate as they arrive (Session streaming mode)")
+	snapEvery := flag.Int("snap-every", 1000,
+		"print a live snapshot every N streamed jobs (with -stream)")
 	flag.Parse()
 
 	var cfg hierdrl.Config
@@ -51,7 +64,29 @@ func main() {
 	}
 	cfg.Seed = *seed
 	if *series {
-		cfg.CheckpointEvery = max(1, *jobs/20)
+		if *stream {
+			// The stream length is unknown up front; checkpoint at the
+			// snapshot cadence instead of a -jobs-derived interval (fall
+			// back to the cadence default when snapshots are disabled —
+			// never to per-job checkpointing).
+			cfg.CheckpointEvery = *snapEvery
+			if cfg.CheckpointEvery <= 0 {
+				cfg.CheckpointEvery = 1000
+			}
+		} else {
+			cfg.CheckpointEvery = max(1, *jobs/20)
+		}
+	}
+	if cfg.Alloc == hierdrl.AllocDRL && *warmup > 0 {
+		cfg.WarmupTrace = hierdrl.SyntheticTraceForCluster(*warmup, *servers, *seed+1000)
+	}
+
+	if *stream {
+		if *traceFile != "" {
+			log.Fatal("-trace replays a file; with -stream, pipe the CSV to stdin instead")
+		}
+		runStream(cfg, *snapEvery, *series)
+		return
 	}
 
 	var tr *hierdrl.Trace
@@ -71,15 +106,76 @@ func main() {
 	} else {
 		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
 	}
-	if cfg.Alloc == hierdrl.AllocDRL && *warmup > 0 {
-		cfg.WarmupTrace = hierdrl.SyntheticTraceForCluster(*warmup, *servers, *seed+1000)
-	}
 
 	res, err := hierdrl.Run(cfg, tr)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}
+	printResult(res, *series)
+}
 
+// runStream drives the Session API end to end: Submit per stdin row,
+// StepUntil to chase the ingested arrivals, Snapshot for live progress,
+// Drain + Result at EOF.
+func runStream(cfg hierdrl.Config, snapEvery int, series bool) {
+	s, err := hierdrl.NewSession(cfg)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	defer s.Close()
+
+	fmt.Printf("%10s %10s %10s %8s %10s %12s %10s\n",
+		"t(s)", "submitted", "completed", "queued", "power(W)", "energy(kWh)", "avgLat(s)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "arrival")) {
+			continue
+		}
+		job, err := hierdrl.ParseTraceCSVRow(text)
+		if err != nil {
+			log.Fatalf("stdin line %d: %v", line, err)
+		}
+		if err := s.Submit(job); err != nil {
+			log.Fatalf("stdin line %d: %v", line, err)
+		}
+		if n := s.Ingested(); snapEvery > 0 && n%int64(snapEvery) == 0 {
+			// Chase the stream: advance the clock to the newest arrival so
+			// the snapshot reflects live progress, not a deferred backlog.
+			if err := s.StepUntil(hierdrl.Time(job.Arrival)); err != nil {
+				log.Fatalf("step: %v", err)
+			}
+			printSnap(s.Snapshot())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("stdin: %v", err)
+	}
+	if s.Ingested() == 0 {
+		log.Fatal("no jobs on stdin")
+	}
+	if err := s.Drain(); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	printSnap(s.Snapshot())
+	res, err := s.Result()
+	if err != nil {
+		log.Fatalf("result: %v", err)
+	}
+	fmt.Println()
+	printResult(res, series)
+}
+
+func printSnap(sn hierdrl.SessionSnapshot) {
+	fmt.Printf("%10.0f %10d %10d %8d %10.1f %12.3f %10.1f\n",
+		sn.Now.Seconds(), sn.Ingested, sn.Completed,
+		sn.PendingArrivals+sn.JobsInSystem, sn.TotalPowerW, sn.EnergykWh, sn.AvgLatencySec)
+}
+
+func printResult(res *hierdrl.Result, series bool) {
 	s := res.Summary
 	fmt.Printf("system            %s\n", s.Policy)
 	fmt.Printf("servers           %d\n", s.M)
@@ -95,7 +191,7 @@ func main() {
 	if res.AgentDiag != "" {
 		fmt.Printf("agent             %s\n", res.AgentDiag)
 	}
-	if *series {
+	if series {
 		fmt.Println("\njobs,time_s,acc_latency_s,energy_kwh")
 		for _, cp := range res.Checkpoints {
 			fmt.Printf("%d,%.0f,%.0f,%.4f\n",

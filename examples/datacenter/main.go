@@ -2,8 +2,9 @@
 // scale — round-robin vs DRL-only vs the hierarchical framework on the same
 // week-like workload, with the Fig. 8-style accumulated series.
 //
-//	go run ./examples/datacenter            # 20x-reduced, ~30 s
-//	go run ./examples/datacenter -full      # 95,000 jobs, tens of minutes
+//	go run ./examples/datacenter                      # 20x-reduced, ~30 s
+//	go run ./examples/datacenter -full                # 95,000 jobs, tens of minutes
+//	go run ./examples/datacenter -jobs 200 -warmup 50 # smoke-sized
 package main
 
 import (
@@ -17,11 +18,19 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full 95,000-job operating point")
 	servers := flag.Int("servers", 30, "cluster size M")
+	jobs := flag.Int("jobs", 0, "override the measured workload length (0 = scale default)")
+	warmup := flag.Int("warmup", -1, "override the warmup rollout length (-1 = scale default)")
 	flag.Parse()
 
 	sc := hierdrl.BenchScale(*servers)
 	if *full {
 		sc = hierdrl.FullScale(*servers)
+	}
+	if *jobs > 0 {
+		sc.Jobs = *jobs
+	}
+	if *warmup >= 0 {
+		sc.WarmupJobs = *warmup
 	}
 
 	fmt.Printf("comparing 3 systems on %d servers, %d jobs (warmup %d)...\n\n",

@@ -4,9 +4,11 @@
 // immediate sleep, and fixed timeouts — the per-server version of Fig. 4.
 //
 //	go run ./examples/powermanager
+//	go run ./examples/powermanager -jobs 150   # smoke-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,11 +16,14 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("jobs", 1500, "workload length")
+	flag.Parse()
+
 	const m = 1
 	// One server's worth of arrivals: short jobs in bursts separated by
 	// long quiet periods — exactly the regime where timeout choice matters.
 	gen := hierdrl.DefaultTraceGen()
-	gen.NumJobs = 1500
+	gen.NumJobs = *jobs
 	gen.BaseRate = 1.0 / 420 // one job every ~7 minutes on average
 	gen.BurstRateFactor = 10 // ...arriving mostly in bursts
 	gen.MeanBurstEvery = 2 * 3600

@@ -3,9 +3,11 @@
 // hierarchical framework against DRL + fixed-timeout baselines.
 //
 //	go run ./examples/tradeoff
+//	go run ./examples/tradeoff -jobs 200 -warmup 50   # smoke-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -15,8 +17,12 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("jobs", 3000, "measured workload length per run")
+	warmup := flag.Int("warmup", 1000, "offline-phase rollout length")
+	flag.Parse()
+
 	const m = 10
-	sc := hierdrl.Scale{Jobs: 3000, WarmupJobs: 1000, Seed: 1, ClusterM: m}
+	sc := hierdrl.Scale{Jobs: *jobs, WarmupJobs: *warmup, Seed: 1, ClusterM: m}
 	lambdas := []float64{0.2, 0.5, 0.8}
 
 	fmt.Printf("sweeping lambda in %v on %d servers, %d jobs per run...\n",

@@ -71,10 +71,10 @@ func (c *Comparison) Rows() []Summary {
 // M servers — the engine behind Table I (checkpointEvery = 0) and the
 // Fig. 8/9 accumulated series (checkpointEvery > 0).
 //
-// The three systems run concurrently through a bounded worker pool. Every
-// run derives its entire RNG chain from its own config seed and shares only
-// the immutable trace, so the results are identical (bitwise) to running
-// them sequentially.
+// The three systems run concurrently through a bounded worker pool, each as
+// one batch Session (via Run). Every run derives its entire RNG chain from
+// its own config seed and shares only the immutable trace, so the results
+// are identical (bitwise) to running them sequentially.
 func RunComparison(m int, sc Scale, checkpointEvery int) (*Comparison, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err

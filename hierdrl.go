@@ -11,12 +11,27 @@
 //   - the local tier power-manages each server independently with a
 //     model-free RL timeout policy fed by an LSTM inter-arrival predictor.
 //
-// Quickstart:
+// The primary entry point is the Session: a long-lived run that accepts
+// jobs incrementally (Submit / SubmitTrace), advances the simulated clock
+// under caller control (Step / StepUntil / Drain), exposes live state
+// (Snapshot, Observer hooks), honors context cancellation, and produces the
+// paper's measurements (Result). Quickstart:
 //
-//	tr := hierdrl.SyntheticTrace(10000, 1)
-//	res, err := hierdrl.Run(hierdrl.Hierarchical(30), tr)
+//	s, err := hierdrl.NewSession(hierdrl.Hierarchical(30))
+//	if err != nil { ... }
+//	defer s.Close()
+//	s.SubmitTrace(hierdrl.SyntheticTrace(10000, 1)) // or s.Submit(job) per job
+//	if err := s.Drain(); err != nil { ... }
+//	res, err := s.Result()
 //	if err != nil { ... }
 //	fmt.Println(res.Summary)
+//
+// The batch helper Run(cfg, tr) wraps exactly that sequence; RunComparison
+// and RunTradeoff fan batched runs out in parallel. Custom allocation
+// policies, power managers, and workload predictors plug in through
+// RegisterAllocator / RegisterPowerManager / RegisterPredictor, after which
+// the Config.Alloc / Config.DPM / Config.Predictor strings resolve to them
+// like to the built-ins.
 //
 // The three preset constructors mirror the paper's evaluation systems:
 // RoundRobin (baseline: even dispatch, servers always on), DRLOnly (DRL
@@ -47,6 +62,10 @@ type (
 	Trace = trace.Trace
 	// TraceStats summarizes a workload.
 	TraceStats = trace.Stats
+	// Job is one workload record: an arrival instant, a duration, and
+	// per-dimension resource demands. It is both a Trace element and the
+	// unit of streaming ingestion (Session.Submit).
+	Job = trace.Job
 )
 
 // JoulesPerKWh converts joules to kilowatt-hours.

@@ -66,6 +66,11 @@ type Cluster struct {
 	OnChange func(t sim.Time)
 	// OnJobDone fires when any job completes.
 	OnJobDone func(t sim.Time, j *Job)
+	// OnTransition fires after any server changes power mode (wake begin,
+	// wake complete, shutdown begin, shutdown complete). Nil by default;
+	// transitions are rare relative to job events so the forwarding branch
+	// costs nothing on the hot path.
+	OnTransition func(t sim.Time, server int, from, to PowerState)
 
 	submitted int64
 	completed int64
@@ -99,6 +104,7 @@ func New(cfg Config, sm *sim.Simulator, dpmFactory func(serverID int) DPMPolicy)
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
 		s.SetHooks(c.serverUpdated, c.jobDone)
+		s.SetTransitionHook(c.serverTransition)
 		c.servers[i] = s
 		c.prevPower[i] = s.Power()
 		c.totalPower += s.Power()
@@ -181,6 +187,12 @@ func (c *Cluster) updateReliTerms(i int, s *Server) {
 		c.reliHot[i/64] |= 1 << (uint(i) % 64)
 	} else {
 		c.reliHot[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+func (c *Cluster) serverTransition(t sim.Time, s *Server, from, to PowerState) {
+	if c.OnTransition != nil {
+		c.OnTransition(t, s.ID(), from, to)
 	}
 }
 

@@ -109,9 +109,13 @@ type Server struct {
 	cfg ServerConfig
 	dpm DPMPolicy
 
-	state   PowerState
-	used    Resources
+	state PowerState
+	used  Resources
+	// queue is the FCFS wait line, consumed through qhead so steady-state
+	// push/pop reuses the backing array instead of re-slicing capacity away
+	// (append after s.queue[1:] re-slicing allocated once per drained queue).
 	queue   []*Job
+	qhead   int
 	pending Resources // cached sum of queued jobs' demands
 	running int
 
@@ -133,6 +137,9 @@ type Server struct {
 	onUpdate func(t sim.Time, s *Server)
 	// onJobDone fires when a job completes.
 	onJobDone func(t sim.Time, j *Job)
+	// onTransition fires after every power-mode change (nil when no observer
+	// is attached; the nil check keeps the unobserved hot path free).
+	onTransition func(t sim.Time, s *Server, from, to PowerState)
 }
 
 // NewServer builds a server attached to the given simulator. dpm must not be
@@ -167,14 +174,14 @@ func (s *Server) ID() int { return s.id }
 func (s *Server) State() PowerState { return s.state }
 
 // QueueLen returns the number of jobs waiting (not yet granted resources).
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return len(s.queue) - s.qhead }
 
 // Running returns the number of executing jobs.
 func (s *Server) Running() int { return s.running }
 
 // JobsInSystem returns waiting plus executing jobs (the JQ(t) signal feeding
 // Eqn. (5), via Little's law a proxy for per-job latency).
-func (s *Server) JobsInSystem() int { return len(s.queue) + s.running }
+func (s *Server) JobsInSystem() int { return len(s.queue) - s.qhead + s.running }
 
 // Used returns the resources currently granted to running jobs.
 func (s *Server) Used() Resources { return s.used }
@@ -232,6 +239,44 @@ func (s *Server) Completed() int64 { return s.completed }
 func (s *Server) SetHooks(onUpdate func(sim.Time, *Server), onJobDone func(sim.Time, *Job)) {
 	s.onUpdate = onUpdate
 	s.onJobDone = onJobDone
+}
+
+// SetTransitionHook installs an observer for power-mode changes. A nil hook
+// (the default) costs one branch per transition.
+func (s *Server) SetTransitionHook(fn func(t sim.Time, s *Server, from, to PowerState)) {
+	s.onTransition = fn
+}
+
+// setState changes the power mode and notifies the transition observer.
+func (s *Server) setState(to PowerState) {
+	from := s.state
+	s.state = to
+	if s.onTransition != nil {
+		s.onTransition(s.sm.Now(), s, from, to)
+	}
+}
+
+// queuePop removes and returns the queue head. The backing array is consumed
+// through qhead and recycled when the queue drains (or compacted when the
+// dead prefix dominates), so steady-state queueing never reallocates.
+// Session.popHead (package hierdrl) mirrors this scheme for the pending
+// arrival queue — change it in both places together.
+func (s *Server) queuePop() *Job {
+	j := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	} else if s.qhead > 32 && s.qhead*2 > len(s.queue) {
+		n := copy(s.queue, s.queue[s.qhead:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	return j
 }
 
 func (s *Server) currentPower() float64 {
@@ -302,7 +347,7 @@ func serverTimeoutExpire(a any)    { a.(*Server).onTimeoutExpire() }
 func jobComplete(a any)            { j := a.(*Job); j.srv.onJobComplete(j) }
 
 func (s *Server) beginWake() {
-	s.state = StateWaking
+	s.setState(StateWaking)
 	s.wakeups++
 	s.sm.ScheduleAfterArg(s.cfg.TonSeconds, serverWakeComplete, s)
 }
@@ -311,10 +356,10 @@ func (s *Server) onWakeComplete() {
 	if s.state != StateWaking {
 		panic(fmt.Sprintf("cluster: server %d wake completion in state %v", s.id, s.state))
 	}
-	s.state = StateActive
+	s.setState(StateActive)
 	s.tryStart()
 	s.sync()
-	if s.running == 0 && len(s.queue) == 0 {
+	if s.running == 0 && s.QueueLen() == 0 {
 		// Defensive: a wake with nothing to do still constitutes an idle
 		// decision epoch.
 		s.enterIdleEpoch()
@@ -325,13 +370,13 @@ func (s *Server) onWakeComplete() {
 // the first job that does not fit (head-of-line blocking, Sec. III).
 func (s *Server) tryStart() {
 	now := s.sm.Now()
-	for len(s.queue) > 0 {
-		head := s.queue[0]
+	for s.qhead < len(s.queue) {
+		head := s.queue[s.qhead]
 		free := s.cfg.Capacity.Sub(s.used)
 		if !head.Req.FitsIn(free) {
 			return
 		}
-		s.queue = s.queue[1:]
+		s.queuePop()
 		s.pending = s.pending.Sub(head.Req)
 		s.used = s.used.Add(head.Req)
 		s.running++
@@ -358,7 +403,7 @@ func (s *Server) onJobComplete(j *Job) {
 	if s.onJobDone != nil {
 		s.onJobDone(now, j)
 	}
-	if s.state == StateActive && s.running == 0 && len(s.queue) == 0 {
+	if s.state == StateActive && s.running == 0 && s.QueueLen() == 0 {
 		s.enterIdleEpoch()
 	}
 }
@@ -381,16 +426,16 @@ func (s *Server) enterIdleEpoch() {
 
 func (s *Server) onTimeoutExpire() {
 	s.timeout = sim.Timer{}
-	if s.state != StateActive || s.running != 0 || len(s.queue) != 0 {
+	if s.state != StateActive || s.running != 0 || s.QueueLen() != 0 {
 		panic(fmt.Sprintf("cluster: server %d timeout expired in state %v run=%d q=%d",
-			s.id, s.state, s.running, len(s.queue)))
+			s.id, s.state, s.running, s.QueueLen()))
 	}
 	s.beginShutdown()
 	s.sync()
 }
 
 func (s *Server) beginShutdown() {
-	s.state = StateShuttingDown
+	s.setState(StateShuttingDown)
 	s.shutdowns++
 	s.sm.ScheduleAfterArg(s.cfg.ToffSeconds, serverShutdownComplete, s)
 }
@@ -399,9 +444,9 @@ func (s *Server) onShutdownComplete() {
 	if s.state != StateShuttingDown {
 		panic(fmt.Sprintf("cluster: server %d shutdown completion in state %v", s.id, s.state))
 	}
-	s.state = StateSleep
+	s.setState(StateSleep)
 	s.sync()
-	if len(s.queue) > 0 {
+	if s.QueueLen() > 0 {
 		// A job arrived mid-shutdown (Fig. 4(a)): wake right back up.
 		s.beginWake()
 		s.sync()

@@ -63,6 +63,10 @@ type Collector struct {
 
 	checkpoints []Checkpoint
 	clusterRef  *cluster.Cluster
+
+	// OnCheckpoint fires after each checkpoint is recorded (requires a
+	// positive checkpoint interval). Nil by default.
+	OnCheckpoint func(cp Checkpoint)
 }
 
 // NewCollector returns a collector that records a checkpoint every
@@ -83,13 +87,35 @@ func (c *Collector) JobDone(t sim.Time, j *cluster.Job) {
 	c.waits = append(c.waits, j.WaitTime())
 	c.completed++
 	if c.checkpointEvery > 0 && c.completed%c.checkpointEvery == 0 {
-		c.checkpoints = append(c.checkpoints, Checkpoint{
+		cp := Checkpoint{
 			Jobs:          c.completed,
 			Time:          t,
 			AccLatencySec: c.accLatency,
 			EnergykWh:     c.clusterRef.TotalEnergyJoules(t) / JoulesPerKWh,
-		})
+		}
+		c.checkpoints = append(c.checkpoints, cp)
+		if c.OnCheckpoint != nil {
+			c.OnCheckpoint(cp)
+		}
 	}
+}
+
+// Reserve pre-sizes the per-job sample buffers for n completions beyond
+// those already recorded, so a steady-state JobDone performs no slice
+// growth. Callers that know the workload length (batch replay, bounded
+// streams) use it to keep the collection path allocation-free — including
+// on the second and later bounded streams of a long-lived run.
+func (c *Collector) Reserve(n int) {
+	need := len(c.latencies) + n
+	if need <= cap(c.latencies) {
+		return
+	}
+	lat := make([]float64, len(c.latencies), need)
+	copy(lat, c.latencies)
+	c.latencies = lat
+	w := make([]float64, len(c.waits), need)
+	copy(w, c.waits)
+	c.waits = w
 }
 
 // Completed returns the number of completions recorded.

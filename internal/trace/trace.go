@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,16 +44,18 @@ type Job struct {
 	Req [NumResources]float64
 }
 
-// Validate checks the invariants every job must satisfy.
+// Validate checks the invariants every job must satisfy. The comparisons
+// are written in the affirmative so NaN fields (which compare false either
+// way) are rejected rather than slipping through.
 func (j Job) Validate() error {
-	if j.Arrival < 0 {
-		return fmt.Errorf("trace: job %d: negative arrival %v", j.ID, j.Arrival)
+	if !(j.Arrival >= 0) || math.IsInf(j.Arrival, 0) {
+		return fmt.Errorf("trace: job %d: invalid arrival %v", j.ID, j.Arrival)
 	}
-	if j.Duration <= 0 {
-		return fmt.Errorf("trace: job %d: non-positive duration %v", j.ID, j.Duration)
+	if !(j.Duration > 0) || math.IsInf(j.Duration, 0) {
+		return fmt.Errorf("trace: job %d: invalid duration %v", j.ID, j.Duration)
 	}
 	for p, r := range j.Req {
-		if r <= 0 || r > 1 {
+		if !(r > 0 && r <= 1) {
 			return fmt.Errorf("trace: job %d: resource %d demand %v outside (0,1]", j.ID, p, r)
 		}
 	}
@@ -206,6 +209,38 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 
 func formatF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
+// ParseCSVRow parses one canonical "arrival,duration,cpu,mem,disk" row into
+// a Job. The caller owns ID assignment and semantic checking (Job.Validate);
+// this is the single definition of the row syntax, shared by ReadCSV and
+// streaming ingestion frontends.
+func ParseCSVRow(text string) (Job, error) {
+	j, err := parseCSVRow(text)
+	if err != nil {
+		return Job{}, fmt.Errorf("trace: %w", err)
+	}
+	return j, nil
+}
+
+func parseCSVRow(text string) (Job, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 5 {
+		return Job{}, fmt.Errorf("want 5 fields, got %d", len(fields))
+	}
+	var vals [5]float64
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return Job{}, fmt.Errorf("field %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return Job{
+		Arrival:  vals[0],
+		Duration: vals[1],
+		Req:      [NumResources]float64{vals[2], vals[3], vals[4]},
+	}, nil
+}
+
 // ReadCSV parses a trace in the canonical CSV format and validates it.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
@@ -221,24 +256,12 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if line == 1 && strings.HasPrefix(text, "arrival") {
 			continue
 		}
-		fields := strings.Split(text, ",")
-		if len(fields) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+		j, err := parseCSVRow(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
-		vals := make([]float64, 5)
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
-			}
-			vals[i] = v
-		}
-		t.Jobs = append(t.Jobs, Job{
-			ID:       len(t.Jobs),
-			Arrival:  vals[0],
-			Duration: vals[1],
-			Req:      [NumResources]float64{vals[2], vals[3], vals[4]},
-		})
+		j.ID = len(t.Jobs)
+		t.Jobs = append(t.Jobs, j)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: scan: %w", err)

@@ -1,0 +1,304 @@
+package hierdrl
+
+import (
+	"fmt"
+	"sync"
+
+	"hierdrl/internal/cluster"
+	"hierdrl/internal/global"
+	"hierdrl/internal/local"
+	"hierdrl/internal/lstm"
+	"hierdrl/internal/mat"
+	"hierdrl/internal/policy"
+	"hierdrl/internal/sim"
+)
+
+// Public extension-point types. These are aliases of the engine's own
+// interfaces, so a policy registered here runs on the hot path with no
+// adapter layer in between (and therefore no per-event interface boxing
+// beyond what the engine itself does).
+type (
+	// Allocator is the global tier's extension point: it picks the target
+	// server for every arriving job. The paper's DRL agent, round-robin,
+	// random, least-loaded, and pack-fit all implement it.
+	Allocator = policy.Allocator
+	// PowerManager is the local tier's extension point: one instance runs
+	// per server and decides sleep timeouts at each idle decision epoch
+	// (OnIdle), classifies arrival epochs (OnArrival), and integrates the
+	// local reward signal (Observe).
+	PowerManager = cluster.DPMPolicy
+	// Predictor forecasts the next job inter-arrival time for the RL power
+	// manager (the paper argues for an LSTM; EWMA/last-value/window-mean are
+	// the linear-history baselines).
+	Predictor = local.ArrivalPredictor
+
+	// ClusterJob is the in-flight form of a job inside the simulator, handed
+	// to Allocator.Allocate and the per-job-completion observer. Completed
+	// jobs are pooled and renewed — do not retain pointers past the callback.
+	ClusterJob = cluster.Job
+	// ClusterView is the immutable-by-convention snapshot of cluster state
+	// handed to allocators at each decision epoch.
+	ClusterView = cluster.View
+	// Server exposes one simulated machine to PowerManager implementations.
+	Server = cluster.Server
+	// PowerState is a server's power mode (sleep/waking/active/shutting-down).
+	PowerState = cluster.PowerState
+	// Resources is a per-dimension (CPU, memory, disk) resource vector.
+	Resources = cluster.Resources
+	// Time is simulated time in seconds since the start of the run.
+	Time = sim.Time
+	// RNG is the deterministic random source threaded through every
+	// stochastic component; factories derive independent streams via Split.
+	RNG = mat.RNG
+)
+
+// Re-exported power modes for PowerManager implementations.
+const (
+	StateSleep        = cluster.StateSleep
+	StateWaking       = cluster.StateWaking
+	StateActive       = cluster.StateActive
+	StateShuttingDown = cluster.StateShuttingDown
+)
+
+// AllocatorFactory builds one run's allocator. cfg is the validated run
+// configuration; rng is the run's RNG — derive any private stream with
+// rng.Split() (and nothing else) so runs stay reproducible from Config.Seed.
+type AllocatorFactory func(cfg *Config, rng *RNG) (Allocator, error)
+
+// PowerManagerFactory builds one server's power manager; it is invoked once
+// per server index in ascending order, all sharing the run RNG.
+type PowerManagerFactory func(cfg *Config, serverID int, rng *RNG) (PowerManager, error)
+
+// PredictorFactory builds one workload predictor for an RL power manager.
+type PredictorFactory func(cfg *Config, rng *RNG) (Predictor, error)
+
+// Registry entries pair the factory with an optional config check that runs
+// at validation time (NewSession/Run), so bad configurations fail before any
+// simulation state is built. Built-in entries use checks to preserve the
+// historical validation errors; externally registered policies typically
+// validate inside their factory instead.
+type (
+	allocEntry struct {
+		build AllocatorFactory
+		check func(cfg *Config) error
+	}
+	pmEntry struct {
+		build PowerManagerFactory
+		check func(cfg *Config) error
+	}
+	predEntry struct {
+		build PredictorFactory
+	}
+)
+
+var (
+	registryMu sync.RWMutex
+	allocators = map[AllocPolicy]allocEntry{}
+	powerMgrs  = map[DPMKind]pmEntry{}
+	predictors = map[PredictorKind]predEntry{}
+)
+
+// RegisterAllocator makes a custom allocation policy resolvable through
+// Config.Alloc. It panics on an empty name, a nil factory, or a name already
+// registered (including the built-ins).
+func RegisterAllocator(name AllocPolicy, build AllocatorFactory) {
+	registerAllocator(name, build, nil)
+}
+
+func registerAllocator(name AllocPolicy, build AllocatorFactory, check func(*Config) error) {
+	if name == "" || build == nil {
+		panic("hierdrl: RegisterAllocator with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := allocators[name]; dup {
+		panic(fmt.Sprintf("hierdrl: allocator %q already registered", name))
+	}
+	allocators[name] = allocEntry{build: build, check: check}
+}
+
+// RegisterPowerManager makes a custom local-tier policy resolvable through
+// Config.DPM. Panics on misuse, like RegisterAllocator.
+func RegisterPowerManager(name DPMKind, build PowerManagerFactory) {
+	registerPowerManager(name, build, nil)
+}
+
+func registerPowerManager(name DPMKind, build PowerManagerFactory, check func(*Config) error) {
+	if name == "" || build == nil {
+		panic("hierdrl: RegisterPowerManager with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := powerMgrs[name]; dup {
+		panic(fmt.Sprintf("hierdrl: power manager %q already registered", name))
+	}
+	powerMgrs[name] = pmEntry{build: build, check: check}
+}
+
+// RegisterPredictor makes a custom workload predictor resolvable through
+// Config.Predictor. Panics on misuse, like RegisterAllocator.
+func RegisterPredictor(name PredictorKind, build PredictorFactory) {
+	if name == "" || build == nil {
+		panic("hierdrl: RegisterPredictor with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := predictors[name]; dup {
+		panic(fmt.Sprintf("hierdrl: predictor %q already registered", name))
+	}
+	predictors[name] = predEntry{build: build}
+}
+
+func lookupAllocator(name AllocPolicy) (allocEntry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := allocators[name]
+	return e, ok
+}
+
+func lookupPowerManager(name DPMKind) (pmEntry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := powerMgrs[name]
+	return e, ok
+}
+
+func lookupPredictor(name PredictorKind) (predEntry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := predictors[name]
+	return e, ok
+}
+
+// checkAllocConfig validates Config.Alloc through the registry.
+func checkAllocConfig(cfg *Config) error {
+	e, ok := lookupAllocator(cfg.Alloc)
+	if !ok {
+		return fmt.Errorf("hierdrl: unknown allocation policy %q", cfg.Alloc)
+	}
+	if e.check != nil {
+		return e.check(cfg)
+	}
+	return nil
+}
+
+// checkDPMConfig validates Config.DPM (and, transitively, Config.Predictor)
+// through the registry.
+func checkDPMConfig(cfg *Config) error {
+	e, ok := lookupPowerManager(cfg.DPM)
+	if !ok {
+		return fmt.Errorf("hierdrl: unknown DPM policy %q", cfg.DPM)
+	}
+	if e.check != nil {
+		return e.check(cfg)
+	}
+	return nil
+}
+
+// buildAllocator resolves the global tier for one session. The DRL policy is
+// the one allocator the registry cannot build: its agent belongs to (and
+// persists across the passes of) the session, so the session injects it here.
+func buildAllocator(cfg *Config, agent *global.Agent, rng *RNG) (Allocator, error) {
+	if cfg.Alloc == AllocDRL {
+		if agent == nil {
+			return nil, fmt.Errorf("hierdrl: DRL allocation without an agent")
+		}
+		return agent, nil
+	}
+	e, ok := lookupAllocator(cfg.Alloc)
+	if !ok {
+		return nil, fmt.Errorf("hierdrl: unknown allocation policy %q", cfg.Alloc)
+	}
+	return e.build(cfg, rng)
+}
+
+// buildPowerManager resolves one server's local tier through the registry.
+func buildPowerManager(cfg *Config, serverID int, rng *RNG) (PowerManager, error) {
+	e, ok := lookupPowerManager(cfg.DPM)
+	if !ok {
+		return nil, fmt.Errorf("hierdrl: unknown DPM policy %q", cfg.DPM)
+	}
+	return e.build(cfg, serverID, rng)
+}
+
+// buildPredictor resolves a workload predictor through the registry.
+func buildPredictor(cfg *Config, rng *RNG) (Predictor, error) {
+	e, ok := lookupPredictor(cfg.Predictor)
+	if !ok {
+		return nil, fmt.Errorf("hierdrl: unknown predictor %q", cfg.Predictor)
+	}
+	return e.build(cfg, rng)
+}
+
+// Built-in policies register through the same machinery external code uses,
+// so AllocPolicy/DPMKind/PredictorKind strings all resolve one way. The RNG
+// split order inside each factory is part of the reproducibility contract:
+// it matches the historical construction order bit for bit.
+func init() {
+	registerAllocator(AllocRoundRobin, func(*Config, *RNG) (Allocator, error) {
+		return policy.NewRoundRobin(), nil
+	}, nil)
+	registerAllocator(AllocRandom, func(_ *Config, rng *RNG) (Allocator, error) {
+		return policy.NewRandom(rng.Split()), nil
+	}, nil)
+	registerAllocator(AllocLeastLoaded, func(*Config, *RNG) (Allocator, error) {
+		return policy.NewLeastLoaded(), nil
+	}, nil)
+	registerAllocator(AllocPackFit, func(*Config, *RNG) (Allocator, error) {
+		return policy.NewPackFit(0.05)
+	}, nil)
+	registerAllocator(AllocDRL, func(*Config, *RNG) (Allocator, error) {
+		return nil, fmt.Errorf("hierdrl: the DRL allocator is built by its session (it owns the learning agent)")
+	}, func(cfg *Config) error {
+		if err := cfg.Global.Validate(cfg.M); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		return nil
+	})
+
+	registerPowerManager(DPMAlwaysOn, func(*Config, int, *RNG) (PowerManager, error) {
+		return local.AlwaysOn{}, nil
+	}, nil)
+	registerPowerManager(DPMAdHoc, func(*Config, int, *RNG) (PowerManager, error) {
+		return local.AdHoc{}, nil
+	}, nil)
+	registerPowerManager(DPMFixedTimeout, func(cfg *Config, _ int, _ *RNG) (PowerManager, error) {
+		return local.NewFixedTimeout(cfg.FixedTimeoutSec), nil
+	}, func(cfg *Config) error {
+		if cfg.FixedTimeoutSec < 0 {
+			return fmt.Errorf("hierdrl: negative fixed timeout %v", cfg.FixedTimeoutSec)
+		}
+		return nil
+	})
+	registerPowerManager(DPMRL, func(cfg *Config, _ int, rng *RNG) (PowerManager, error) {
+		pred, err := buildPredictor(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		return local.NewRLTimeout(cfg.LocalRL, pred, rng.Split())
+	}, func(cfg *Config) error {
+		if err := cfg.LocalRL.Validate(); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		if cfg.Predictor == "" {
+			cfg.Predictor = PredictorLSTM
+		}
+		if _, ok := lookupPredictor(cfg.Predictor); !ok {
+			return fmt.Errorf("hierdrl: unknown predictor %q", cfg.Predictor)
+		}
+		return nil
+	})
+
+	RegisterPredictor(PredictorLSTM, func(cfg *Config, rng *RNG) (Predictor, error) {
+		return lstm.NewPredictor(cfg.LSTMPredictor, rng.Split()), nil
+	})
+	RegisterPredictor(PredictorEWMA, func(*Config, *RNG) (Predictor, error) {
+		return local.NewEWMA(0.3), nil
+	})
+	RegisterPredictor(PredictorLastValue, func(*Config, *RNG) (Predictor, error) {
+		return local.NewLastValue(), nil
+	})
+	RegisterPredictor(PredictorWindowMean, func(*Config, *RNG) (Predictor, error) {
+		return local.NewWindowMean(10), nil
+	})
+}

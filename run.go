@@ -3,93 +3,67 @@ package hierdrl
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"hierdrl/internal/cluster"
 	"hierdrl/internal/global"
-	"hierdrl/internal/local"
 	"hierdrl/internal/lstm"
 	"hierdrl/internal/mat"
-	"hierdrl/internal/metrics"
 	"hierdrl/internal/policy"
-	"hierdrl/internal/sim"
 	"hierdrl/internal/trace"
 )
 
-// Run executes one experiment end to end: it builds the cluster, the
-// allocation tier, and one power manager per server; replays the trace
-// event-driven; and returns the measurements. For DRL configurations with a
-// WarmupTrace it first performs the Algorithm 1 offline phase.
+// Run executes one experiment end to end: it builds a Session (which runs
+// the Algorithm 1 offline phase for DRL configurations with a WarmupTrace),
+// replays the trace through it, and returns the measurements. It is a thin
+// wrapper over the streaming Session API — NewSession, SubmitTrace, Drain,
+// Result — and a Session driven the same way produces bitwise-identical
+// results.
 func Run(cfg Config, tr *Trace) (*Result, error) {
-	if err := validate(&cfg); err != nil {
-		return nil, err
-	}
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("hierdrl: empty trace")
 	}
-	rng := mat.NewRNG(cfg.Seed)
-
-	var agent *global.Agent
-	if cfg.Alloc == AllocDRL {
-		var err error
-		agent, err = global.NewAgent(cfg.Global, cfg.M, rng.Split())
-		if err != nil {
-			return nil, fmt.Errorf("hierdrl: global agent: %w", err)
-		}
-		if cfg.WarmupTrace != nil && cfg.WarmupTrace.Len() > 0 {
-			if err := warmup(cfg, agent, rng.Split()); err != nil {
-				return nil, err
-			}
-		}
-	}
-	res, err := runPass(cfg, agent, tr, rng.Split(), cfg.CheckpointEvery)
+	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if agent != nil {
-		res.AgentDiag = agent.String()
+	defer s.Close()
+	if err := s.SubmitTrace(tr); err != nil {
+		return nil, err
 	}
-	return res, nil
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	return s.Result()
 }
 
+// validate normalizes cfg in place (defaults) and rejects inconsistent
+// configurations. Policy names resolve through the registry, so externally
+// registered allocators, power managers, and predictors validate exactly
+// like the built-ins.
 func validate(cfg *Config) error {
 	if cfg.M <= 0 {
 		return fmt.Errorf("hierdrl: M must be positive, got %d", cfg.M)
 	}
-	switch cfg.Alloc {
-	case AllocRoundRobin, AllocRandom, AllocLeastLoaded, AllocPackFit:
-	case AllocDRL:
-		if err := cfg.Global.Validate(cfg.M); err != nil {
-			return fmt.Errorf("hierdrl: %w", err)
-		}
-	default:
-		return fmt.Errorf("hierdrl: unknown allocation policy %q", cfg.Alloc)
+	if err := checkAllocConfig(cfg); err != nil {
+		return err
 	}
-	switch cfg.DPM {
-	case DPMAlwaysOn, DPMAdHoc:
-	case DPMFixedTimeout:
-		if cfg.FixedTimeoutSec < 0 {
-			return fmt.Errorf("hierdrl: negative fixed timeout %v", cfg.FixedTimeoutSec)
-		}
-	case DPMRL:
-		if err := cfg.LocalRL.Validate(); err != nil {
-			return fmt.Errorf("hierdrl: %w", err)
-		}
-		switch cfg.Predictor {
-		case PredictorLSTM, PredictorEWMA, PredictorLastValue, PredictorWindowMean:
-		case "":
-			cfg.Predictor = PredictorLSTM
-		default:
-			return fmt.Errorf("hierdrl: unknown predictor %q", cfg.Predictor)
-		}
-	default:
-		return fmt.Errorf("hierdrl: unknown DPM policy %q", cfg.DPM)
+	if err := checkDPMConfig(cfg); err != nil {
+		return err
 	}
-	if cfg.Cluster.M == 0 {
+	// An explicit Cluster override must be complete and consistent with M;
+	// historically a partial override (M left zero) was silently replaced by
+	// the derived default, so a typoed override lost without a trace.
+	switch {
+	case cfg.Cluster == (cluster.Config{}):
 		cfg.Cluster = cluster.DefaultConfig(cfg.M)
-	}
-	if cfg.Cluster.M != cfg.M {
+	case cfg.Cluster.M == 0:
+		return fmt.Errorf("hierdrl: partial Cluster override (M is zero but other fields are set); set Cluster.M = M or leave Cluster entirely zero")
+	case cfg.Cluster.M != cfg.M:
 		return fmt.Errorf("hierdrl: cluster M=%d but config M=%d", cfg.Cluster.M, cfg.M)
+	default:
+		if err := cfg.Cluster.Validate(); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
 	}
 	if cfg.WarmupEpsilon == 0 {
 		cfg.WarmupEpsilon = 1.0
@@ -107,9 +81,10 @@ func validate(cfg *Config) error {
 }
 
 // warmup runs the Algorithm 1 offline construction phase: a high-epsilon
-// rollout over the warmup trace fills the experience memory and the
-// autoencoder sample buffer; then the autoencoder pretrains on
-// reconstruction and fitted-Q sweeps refine the DNN.
+// rollout over the warmup trace (a throwaway Session pass sharing the agent)
+// fills the experience memory and the autoencoder sample buffer; then the
+// autoencoder pretrains on reconstruction and fitted-Q sweeps refine the
+// DNN.
 func warmup(cfg Config, agent *global.Agent, rng *mat.RNG) error {
 	prevEps := agent.Epsilon()
 	agent.SetEpsilon(cfg.WarmupEpsilon)
@@ -123,7 +98,17 @@ func warmup(cfg Config, agent *global.Agent, rng *mat.RNG) error {
 	}
 	agent.SetBehavior(pf.Allocate)
 	defer agent.SetBehavior(nil)
-	if _, err := runPass(cfg, agent, cfg.WarmupTrace, rng, 0); err != nil {
+	p, err := newPass(cfg, agent, rng, 0, sessionOptions{})
+	if err != nil {
+		return fmt.Errorf("hierdrl: warmup rollout: %w", err)
+	}
+	if err := p.SubmitTrace(cfg.WarmupTrace); err != nil {
+		return fmt.Errorf("hierdrl: warmup rollout: %w", err)
+	}
+	if err := p.Drain(); err != nil {
+		return fmt.Errorf("hierdrl: warmup rollout: %w", err)
+	}
+	if _, err := p.Result(); err != nil {
 		return fmt.Errorf("hierdrl: warmup rollout: %w", err)
 	}
 	agent.PretrainAutoencoder(cfg.AEPretrainEpochs)
@@ -136,196 +121,6 @@ func warmup(cfg Config, agent *global.Agent, rng *mat.RNG) error {
 	return nil
 }
 
-// buildDPM constructs one server's power manager.
-func buildDPM(cfg Config, rng *mat.RNG) (cluster.DPMPolicy, error) {
-	switch cfg.DPM {
-	case DPMAlwaysOn:
-		return local.AlwaysOn{}, nil
-	case DPMAdHoc:
-		return local.AdHoc{}, nil
-	case DPMFixedTimeout:
-		return local.NewFixedTimeout(cfg.FixedTimeoutSec), nil
-	case DPMRL:
-		var pred local.ArrivalPredictor
-		switch cfg.Predictor {
-		case PredictorLSTM:
-			pred = lstm.NewPredictor(cfg.LSTMPredictor, rng.Split())
-		case PredictorEWMA:
-			pred = local.NewEWMA(0.3)
-		case PredictorLastValue:
-			pred = local.NewLastValue()
-		case PredictorWindowMean:
-			pred = local.NewWindowMean(10)
-		default:
-			return nil, fmt.Errorf("hierdrl: unknown predictor %q", cfg.Predictor)
-		}
-		return local.NewRLTimeout(cfg.LocalRL, pred, rng.Split())
-	default:
-		return nil, fmt.Errorf("hierdrl: unknown DPM policy %q", cfg.DPM)
-	}
-}
-
-// buildAllocator constructs the global tier (agent is non-nil for DRL).
-func buildAllocator(cfg Config, agent *global.Agent, rng *mat.RNG) (policy.Allocator, error) {
-	switch cfg.Alloc {
-	case AllocRoundRobin:
-		return policy.NewRoundRobin(), nil
-	case AllocRandom:
-		return policy.NewRandom(rng.Split()), nil
-	case AllocLeastLoaded:
-		return policy.NewLeastLoaded(), nil
-	case AllocPackFit:
-		return policy.NewPackFit(0.05)
-	case AllocDRL:
-		if agent == nil {
-			return nil, fmt.Errorf("hierdrl: DRL allocation without an agent")
-		}
-		return agent, nil
-	default:
-		return nil, fmt.Errorf("hierdrl: unknown allocation policy %q", cfg.Alloc)
-	}
-}
-
-// runPass simulates one full trace against a fresh cluster. The agent (if
-// any) persists across passes so learning accumulates.
-func runPass(cfg Config, agent *global.Agent, tr *Trace, rng *mat.RNG, checkpointEvery int) (*Result, error) {
-	sm := sim.New()
-	cl, err := cluster.New(cfg.Cluster, sm, func(id int) cluster.DPMPolicy {
-		dpm, dErr := buildDPM(cfg, rng)
-		if dErr != nil {
-			panic(dErr) // cfg was validated; unreachable
-		}
-		return dpm
-	})
-	if err != nil {
-		return nil, fmt.Errorf("hierdrl: cluster: %w", err)
-	}
-	alloc, err := buildAllocator(cfg, agent, rng)
-	if err != nil {
-		return nil, err
-	}
-
-	col := metrics.NewCollector(cl, checkpointEvery)
-	if agent != nil {
-		cl.OnChange = func(t sim.Time) {
-			agent.ObserveCluster(t, cl.TotalPower(), cl.JobsInSystem(), cl.ReliabilityObj())
-		}
-	}
-
-	// Streaming trace pump: instead of pre-scheduling every trace job as its
-	// own closure (a 95,000-event queue before the first event fires at full
-	// scale), exactly one "next arrival" event is pending at any time and
-	// re-arms itself after each arrival. Peak event-queue size drops to
-	// O(jobs in flight) and per-arrival scheduling is allocation-free.
-	// Priority-lane scheduling reproduces the historical event order exactly:
-	// up-front scheduling gave every arrival a smaller sequence number than
-	// any simulation-spawned event, so arrivals always won timestamp ties.
-	pump := &tracePump{sm: sm, tr: tr, cl: cl, alloc: alloc}
-	cl.OnJobDone = func(t sim.Time, j *cluster.Job) {
-		col.JobDone(t, j)
-		pump.recycle(j)
-	}
-	pump.arm()
-	// Every job submission spawns a bounded number of follow-up events;
-	// 64 events per job is a generous runaway guard.
-	sm.RunAll(int64(tr.Len())*64 + 1024)
-
-	if agent != nil {
-		agent.FinishEpisode(sm.Now())
-	}
-	if got := cl.Completed(); got != int64(tr.Len()) {
-		return nil, fmt.Errorf("hierdrl: %d of %d jobs completed", got, tr.Len())
-	}
-	cl.InvariantCheck()
-
-	res := &Result{
-		Summary:     col.Summarize(cfg.Name, sm.Now()),
-		Checkpoints: col.Checkpoints(),
-	}
-	for i := 0; i < cl.M(); i++ {
-		res.TotalWakeups += cl.Server(i).Wakeups()
-		res.TotalShutdowns += cl.Server(i).Shutdowns()
-	}
-	return res, nil
-}
-
-// tracePump streams trace arrivals into the cluster one event at a time:
-// firing arrival i dispatches job i and re-arms the pump for arrival i+1.
-// Completed Job objects are pooled and renewed, so steady-state pumping
-// performs no allocation. Traces are normally sorted by arrival (Validate
-// enforces it); for robustness an unsorted trace is handled through a
-// stable arrival-order index, which reproduces the (arrival, trace-index)
-// firing order the event heap produced when all jobs were pre-scheduled.
-type tracePump struct {
-	sm    *sim.Simulator
-	tr    *Trace
-	cl    *cluster.Cluster
-	alloc policy.Allocator
-	view  cluster.View
-	order []int32 // nil when the trace is already sorted by arrival
-	next  int
-	pool  []*cluster.Job
-}
-
-// pumpFire is the pump's event trampoline (package-level: no closure).
-func pumpFire(a any) { a.(*tracePump).fire() }
-
-// jobAt returns the trace job for pump position i.
-func (p *tracePump) jobAt(i int) trace.Job {
-	if p.order != nil {
-		return p.tr.Jobs[p.order[i]]
-	}
-	return p.tr.Jobs[i]
-}
-
-// arm schedules the next pending arrival (if any) in the priority lane.
-func (p *tracePump) arm() {
-	if p.next == 0 {
-		sorted := true
-		for i := 1; i < len(p.tr.Jobs); i++ {
-			if p.tr.Jobs[i].Arrival < p.tr.Jobs[i-1].Arrival {
-				sorted = false
-				break
-			}
-		}
-		if !sorted {
-			p.order = make([]int32, len(p.tr.Jobs))
-			for i := range p.order {
-				p.order[i] = int32(i)
-			}
-			sort.SliceStable(p.order, func(a, b int) bool {
-				return p.tr.Jobs[p.order[a]].Arrival < p.tr.Jobs[p.order[b]].Arrival
-			})
-		}
-	}
-	if p.next < p.tr.Len() {
-		p.sm.SchedulePriorityArg(sim.Time(p.jobAt(p.next).Arrival), pumpFire, p)
-	}
-}
-
-func (p *tracePump) fire() {
-	tj := p.jobAt(p.next)
-	p.next++
-	var j *cluster.Job
-	if n := len(p.pool); n > 0 {
-		j = p.pool[n-1]
-		p.pool = p.pool[:n-1]
-		j.Renew(tj)
-	} else {
-		j = cluster.NewJob(tj)
-	}
-	target := p.alloc.Allocate(j, p.cl.SnapshotInto(&p.view))
-	p.cl.Submit(j, target)
-	p.arm()
-}
-
-// recycle returns a completed job to the pool. Jobs are handed back from
-// OnJobDone, after the metrics collector has read everything it needs; no
-// component retains job pointers past completion.
-func (p *tracePump) recycle(j *cluster.Job) {
-	p.pool = append(p.pool, j)
-}
-
 // TraceStatsOf summarizes a workload (exposed for examples and tools).
 func TraceStatsOf(tr *Trace) TraceStats { return tr.ComputeStats() }
 
@@ -336,3 +131,9 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
 
 // WriteTraceCSV writes a trace in the canonical CSV format.
 func WriteTraceCSV(w io.Writer, tr *Trace) error { return tr.WriteCSV(w) }
+
+// ParseTraceCSVRow parses one "arrival,duration,cpu,mem,disk" row into a
+// Job, for streaming frontends that feed Session.Submit line by line (the
+// same row syntax ReadTraceCSV consumes; semantic validation happens at
+// Submit).
+func ParseTraceCSVRow(row string) (Job, error) { return trace.ParseCSVRow(row) }

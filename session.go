@@ -1,0 +1,557 @@
+package hierdrl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hierdrl/internal/cluster"
+	"hierdrl/internal/global"
+	"hierdrl/internal/mat"
+	"hierdrl/internal/metrics"
+	"hierdrl/internal/sim"
+	"hierdrl/internal/trace"
+)
+
+// ErrSessionClosed is returned after Close by every Session method that
+// ingests, advances the clock, or finalizes (Submit, SubmitTrace, Step,
+// StepUntil, Drain, Result). Read-only accessors (Snapshot, Now, Pending,
+// Ingested, Completed) keep reporting the final state.
+var ErrSessionClosed = errors.New("hierdrl: session closed")
+
+// Observer bundles the session's lifecycle callbacks. It is a struct of
+// function fields rather than an interface so unset hooks cost exactly one
+// nil check on the hot path (no interface dispatch, no boxing) and callers
+// implement only what they need.
+//
+// All callbacks run synchronously on the simulation path; they must not call
+// back into the Session.
+type Observer struct {
+	// OnJobDone fires at each job completion, before the job object is
+	// recycled into the session's pool — read what you need, do not retain j.
+	OnJobDone func(t Time, j *ClusterJob)
+	// OnCheckpoint fires when a Fig. 8/9 series point is recorded (requires
+	// Config.CheckpointEvery > 0).
+	OnCheckpoint func(cp Checkpoint)
+	// OnModeTransition fires at every server power-mode change.
+	OnModeTransition func(t Time, server int, from, to PowerState)
+}
+
+// sessionOptions collects NewSession's functional options.
+type sessionOptions struct {
+	obs        Observer
+	ctx        context.Context
+	expectJobs int
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*sessionOptions)
+
+// WithObserver attaches lifecycle callbacks to the session.
+func WithObserver(obs Observer) SessionOption {
+	return func(o *sessionOptions) { o.obs = obs }
+}
+
+// WithContext attaches a cancellation context: Step, StepUntil and Drain
+// return ctx.Err() once ctx is done (checked between events, every few
+// hundred events on long drains). The default context never cancels and
+// costs nothing per event.
+func WithContext(ctx context.Context) SessionOption {
+	return func(o *sessionOptions) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
+	}
+}
+
+// WithExpectedJobs pre-sizes the ingestion queue and the metric sample
+// buffers for n jobs, so a bounded stream runs allocation-free once warm.
+func WithExpectedJobs(n int) SessionOption {
+	return func(o *sessionOptions) { o.expectJobs = n }
+}
+
+// Session is the long-lived, streaming form of one experiment run: the same
+// engine Run drives end to end, with ingestion, clock control, and
+// observation split apart. Jobs enter through Submit / SubmitTrace, the
+// simulated clock advances only through Step / StepUntil / Drain, and state
+// is visible mid-run through Snapshot and the Observer hooks.
+//
+// A Session is not safe for concurrent use; drive it from one goroutine.
+//
+// Lifecycle: NewSession (validates the config, builds the cluster, and — for
+// DRL configurations with a WarmupTrace — performs the Algorithm 1 offline
+// phase), then any interleaving of Submit/SubmitTrace and Step/StepUntil/
+// Drain, then Result for the final measurements, then Close. The batch
+// helpers (Run, RunComparison, RunTradeoff) are thin wrappers over exactly
+// this sequence, and replaying a trace through a Session is bitwise
+// identical to Run on the same Config.
+type Session struct {
+	cfg   Config
+	agent *global.Agent
+	sm    *sim.Simulator
+	cl    *cluster.Cluster
+	alloc Allocator
+	col   *metrics.Collector
+	obs   Observer
+
+	ctx  context.Context
+	done <-chan struct{}
+
+	// Ingestion: pending arrivals ordered by (arrival, submission order),
+	// consumed through qhead so steady-state streaming reuses the backing
+	// array. Exactly one pump timer is armed while arrivals are pending.
+	queue     []trace.Job
+	qhead     int
+	pumpTimer sim.Timer
+	ingested  int64
+
+	// pool recycles completed cluster jobs (steady-state arrivals allocate
+	// nothing); view is the reused allocator snapshot.
+	pool []*cluster.Job
+	view cluster.View
+
+	finished bool
+	closed   bool
+}
+
+// NewSession validates cfg and builds a ready-but-empty session. For DRL
+// configurations with a WarmupTrace it first runs the offline phase of
+// Algorithm 1 (high-epsilon rollout, autoencoder pretraining, fitted-Q
+// sweeps), so construction can take meaningful time; pass a smaller (or nil)
+// WarmupTrace for interactive use.
+func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	o := sessionOptions{ctx: context.Background()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	// The RNG chain reproduces Run's historical draw order exactly:
+	// agent, then warmup pass, then measured pass.
+	rng := mat.NewRNG(cfg.Seed)
+	var agent *global.Agent
+	if cfg.Alloc == AllocDRL {
+		var err error
+		agent, err = global.NewAgent(cfg.Global, cfg.M, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("hierdrl: global agent: %w", err)
+		}
+		if cfg.WarmupTrace != nil && cfg.WarmupTrace.Len() > 0 {
+			if err := warmup(cfg, agent, rng.Split()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return newPass(cfg, agent, rng.Split(), cfg.CheckpointEvery, o)
+}
+
+// newPass builds the per-pass state: simulator, cluster (one power manager
+// per server through the registry), allocator, and collector. Both the
+// measured session and the warmup rollout are passes; the agent (if any)
+// persists across them so learning accumulates.
+func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int, o sessionOptions) (*Session, error) {
+	sm := sim.New()
+	// The factory callback cannot return an error through cluster.New, and
+	// registered factories may legitimately fail (external policies validate
+	// inside their factory): capture the first failure and surface it. The
+	// nil policy makes cluster.New abort on that server, so no partially
+	// built cluster escapes.
+	var pmErr error
+	cl, err := cluster.New(cfg.Cluster, sm, func(id int) cluster.DPMPolicy {
+		pm, e := buildPowerManager(&cfg, id, rng)
+		if e != nil {
+			if pmErr == nil {
+				pmErr = e
+			}
+			return nil
+		}
+		return pm
+	})
+	if pmErr != nil {
+		return nil, fmt.Errorf("hierdrl: power manager: %w", pmErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hierdrl: cluster: %w", err)
+	}
+	alloc, err := buildAllocator(&cfg, agent, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Session{
+		cfg:   cfg,
+		agent: agent,
+		sm:    sm,
+		cl:    cl,
+		alloc: alloc,
+		col:   metrics.NewCollector(cl, checkpointEvery),
+		obs:   o.obs,
+		ctx:   o.ctx,
+	}
+	if o.ctx != nil {
+		s.done = o.ctx.Done()
+	}
+	if agent != nil {
+		cl.OnChange = func(t sim.Time) {
+			agent.ObserveCluster(t, cl.TotalPower(), cl.JobsInSystem(), cl.ReliabilityObj())
+		}
+	}
+	cl.OnJobDone = s.jobDone
+	s.col.OnCheckpoint = o.obs.OnCheckpoint
+	if o.obs.OnModeTransition != nil {
+		cl.OnTransition = o.obs.OnModeTransition
+	}
+	if o.expectJobs > 0 {
+		s.Reserve(o.expectJobs)
+	}
+	return s, nil
+}
+
+// jobDone is the cluster's completion callback: record metrics, notify the
+// observer, recycle the job. Every branch is nil-checked so a session with
+// no observer completes jobs allocation-free.
+func (s *Session) jobDone(t sim.Time, j *cluster.Job) {
+	s.col.JobDone(t, j)
+	if s.obs.OnJobDone != nil {
+		s.obs.OnJobDone(t, j)
+	}
+	s.pool = append(s.pool, j)
+}
+
+// Reserve pre-sizes the ingestion queue and metric buffers for n further
+// jobs, making a bounded stream allocation-free once the pools are warm.
+func (s *Session) Reserve(n int) {
+	s.col.Reserve(n)
+	if need := len(s.queue) + n; need > cap(s.queue) {
+		grown := make([]trace.Job, len(s.queue), need)
+		copy(grown, s.queue)
+		s.queue = grown
+	}
+}
+
+// Submit ingests one job. The job's ID is assigned by the session (ingestion
+// order); Arrival is an absolute simulated instant — an arrival in the past
+// is dispatched immediately at the current clock (its latency still counts
+// from the declared arrival). Jobs may be submitted in any order and at any
+// point between clock advances.
+func (s *Session) Submit(j Job) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	j.ID = int(s.ingested)
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("hierdrl: submit: %w", err)
+	}
+	s.queue = append(s.queue, j)
+	// Keep the pending region sorted by arrival, stable in submission order.
+	// Streams are near-sorted in practice, so this bubble is O(1) amortized.
+	for i := len(s.queue) - 1; i > s.qhead && s.queue[i].Arrival < s.queue[i-1].Arrival; i-- {
+		s.queue[i], s.queue[i-1] = s.queue[i-1], s.queue[i]
+	}
+	s.ingested++
+	s.arm()
+	return nil
+}
+
+// SubmitTrace ingests every job of tr (IDs are reassigned to ingestion
+// order). It is equivalent to submitting the jobs one by one, but sorts an
+// out-of-order batch once instead of insertion-sorting it.
+func (s *Session) SubmitTrace(tr *Trace) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if tr == nil || len(tr.Jobs) == 0 {
+		return nil
+	}
+	// Validate the whole batch before mutating anything: a malformed trace
+	// must leave the session untouched, not half-ingested with the pending
+	// queue's ordering invariant broken and no pump armed.
+	for i, tj := range tr.Jobs {
+		tj.ID = int(s.ingested) + i
+		if err := tj.Validate(); err != nil {
+			return fmt.Errorf("hierdrl: submit: %w", err)
+		}
+	}
+	s.Reserve(len(tr.Jobs))
+	unsorted := false
+	for _, tj := range tr.Jobs {
+		tj.ID = int(s.ingested)
+		if n := len(s.queue); n > s.qhead && tj.Arrival < s.queue[n-1].Arrival {
+			unsorted = true
+		}
+		s.queue = append(s.queue, tj)
+		s.ingested++
+	}
+	if unsorted {
+		// Stable sort of the pending region reproduces the (arrival,
+		// submission order) total order the per-job bubble maintains.
+		pending := s.queue[s.qhead:]
+		sort.SliceStable(pending, func(a, b int) bool {
+			return pending[a].Arrival < pending[b].Arrival
+		})
+	}
+	s.arm()
+	return nil
+}
+
+// sessionPumpFire is the pump's event trampoline (package-level: no closure,
+// no per-event allocation).
+func sessionPumpFire(a any) { a.(*Session).pumpFire() }
+
+// arm keeps exactly one pending-arrival timer scheduled, in the simulator's
+// priority lane so a streamed arrival takes the same queue position an
+// up-front-scheduled arrival historically had (arrivals win timestamp ties
+// against simulation-spawned events).
+func (s *Session) arm() {
+	if s.qhead >= len(s.queue) {
+		return
+	}
+	at := sim.Time(s.queue[s.qhead].Arrival)
+	if now := s.sm.Now(); at < now {
+		at = now
+	}
+	if s.pumpTimer.Pending() {
+		if s.pumpTimer.At() <= at {
+			return // already armed at or before the head arrival
+		}
+		s.pumpTimer.Cancel()
+	}
+	s.pumpTimer = s.sm.SchedulePriorityArg(at, sessionPumpFire, s)
+}
+
+// pumpFire dispatches the head arrival: renew a pooled job (or allocate the
+// pool's next entry), ask the allocator for a target against a refreshed
+// snapshot, submit, and re-arm for the next pending arrival.
+func (s *Session) pumpFire() {
+	s.pumpTimer = sim.Timer{}
+	tj := s.queue[s.qhead]
+	s.popHead()
+	var j *cluster.Job
+	if n := len(s.pool); n > 0 {
+		j = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		j.Renew(tj)
+	} else {
+		j = cluster.NewJob(tj)
+	}
+	target := s.alloc.Allocate(j, s.cl.SnapshotInto(&s.view))
+	s.cl.Submit(j, target)
+	s.arm()
+}
+
+// popHead consumes the queue head, recycling the backing array when the
+// queue drains and compacting when the dead prefix dominates. It mirrors
+// Server.queuePop (internal/cluster) over value elements; the higher
+// compaction floor reflects the larger element size and queue scale here —
+// change the scheme in both places together.
+func (s *Session) popHead() {
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	} else if s.qhead > 1024 && s.qhead*2 > len(s.queue) {
+		n := copy(s.queue, s.queue[s.qhead:])
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+}
+
+// ctxErr reports the session context's cancellation state without blocking.
+func (s *Session) ctxErr() error {
+	if s.done == nil {
+		return nil
+	}
+	select {
+	case <-s.done:
+		return s.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// guard bounds total event count relative to ingested jobs, protecting
+// callers from a runaway self-rescheduling model. Every job spawns a bounded
+// number of follow-up events; 64 per job is a generous ceiling.
+func (s *Session) guard() error {
+	if s.sm.Fired() > 64*s.ingested+1024 {
+		return fmt.Errorf("hierdrl: event budget exceeded (%d events for %d jobs): runaway model",
+			s.sm.Fired(), s.ingested)
+	}
+	return nil
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event fired (false means the queue is idle — either
+// drained or awaiting submissions).
+func (s *Session) Step() (bool, error) {
+	if s.closed {
+		return false, ErrSessionClosed
+	}
+	if err := s.ctxErr(); err != nil {
+		return false, err
+	}
+	if err := s.guard(); err != nil {
+		return false, err
+	}
+	return s.sm.Step(), nil
+}
+
+// StepUntil fires every event scheduled at or before t and advances the
+// clock to exactly t (it never runs past t, so a later Submit with an
+// arrival after t is dispatched at its declared instant).
+func (s *Session) StepUntil(t Time) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	for i := 0; ; i++ {
+		if i&255 == 0 {
+			if err := s.ctxErr(); err != nil {
+				return err
+			}
+		}
+		next, ok := s.sm.PeekTime()
+		if !ok || next > t {
+			break
+		}
+		if err := s.guard(); err != nil {
+			return err
+		}
+		s.sm.Step()
+	}
+	s.sm.Run(t) // queue is past t: just advances the clock to t
+	return nil
+}
+
+// Drain fires events until the engine is idle: every submitted job has been
+// dispatched and completed. Further jobs can still be submitted afterwards.
+func (s *Session) Drain() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	for i := 0; ; i++ {
+		if i&255 == 0 {
+			if err := s.ctxErr(); err != nil {
+				return err
+			}
+		}
+		if err := s.guard(); err != nil {
+			return err
+		}
+		if !s.sm.Step() {
+			return nil
+		}
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Session) Now() Time { return s.sm.Now() }
+
+// Pending returns the number of ingested jobs not yet dispatched.
+func (s *Session) Pending() int { return len(s.queue) - s.qhead }
+
+// Ingested returns the number of jobs accepted so far.
+func (s *Session) Ingested() int64 { return s.ingested }
+
+// Completed returns the number of jobs finished so far.
+func (s *Session) Completed() int64 { return s.cl.Completed() }
+
+// SessionSnapshot is a live mid-run view of the cluster and the accumulated
+// metrics — the streaming counterpart of Result.
+type SessionSnapshot struct {
+	// Now is the simulated clock.
+	Now Time
+	// Ingested/Completed count jobs accepted and finished; PendingArrivals
+	// counts ingested jobs not yet dispatched; JobsInSystem counts jobs
+	// queued or running on servers.
+	Ingested        int64
+	Completed       int64
+	PendingArrivals int
+	JobsInSystem    int
+	// TotalPowerW is the instantaneous cluster draw; EnergykWh the energy
+	// integrated so far.
+	TotalPowerW float64
+	EnergykWh   float64
+	// AccLatencySec/AvgLatencySec summarize completed-job latency so far.
+	AccLatencySec float64
+	AvgLatencySec float64
+	// View is a freshly captured per-server snapshot (owned by the caller).
+	View *ClusterView
+}
+
+// Snapshot captures a live view of the session. It allocates a fresh
+// ClusterView per call; it is a monitoring surface, not a hot-path one.
+func (s *Session) Snapshot() SessionSnapshot {
+	now := s.sm.Now()
+	snap := SessionSnapshot{
+		Now:             now,
+		Ingested:        s.ingested,
+		Completed:       s.cl.Completed(),
+		PendingArrivals: s.Pending(),
+		JobsInSystem:    s.cl.JobsInSystem(),
+		TotalPowerW:     s.cl.TotalPower(),
+		EnergykWh:       s.cl.TotalEnergyJoules(now) / JoulesPerKWh,
+		AccLatencySec:   s.col.AccLatency(),
+		View:            s.cl.Snapshot(),
+	}
+	if n := s.col.Completed(); n > 0 {
+		snap.AvgLatencySec = snap.AccLatencySec / float64(n)
+	}
+	return snap
+}
+
+// Result finalizes the run and returns the measurements: the Table I summary
+// at the current clock, the checkpoint series, and the transition counts.
+// Call it after Drain — an incomplete run (jobs still pending or in flight)
+// is an error and leaves the session resumable. The first successful call
+// closes the learning episode; later calls re-summarize at the later clock.
+func (s *Session) Result() (*Result, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if got := s.cl.Completed(); got != s.ingested {
+		return nil, fmt.Errorf("hierdrl: %d of %d jobs completed", got, s.ingested)
+	}
+	s.finishEpisode()
+	s.cl.InvariantCheck()
+	res := &Result{
+		Summary:     s.col.Summarize(s.cfg.Name, s.sm.Now()),
+		Checkpoints: s.col.Checkpoints(),
+	}
+	for i := 0; i < s.cl.M(); i++ {
+		res.TotalWakeups += s.cl.Server(i).Wakeups()
+		res.TotalShutdowns += s.cl.Server(i).Shutdowns()
+	}
+	if s.agent != nil {
+		res.AgentDiag = s.agent.String()
+	}
+	return res, nil
+}
+
+// finishEpisode closes the DRL agent's learning episode exactly once.
+func (s *Session) finishEpisode() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.agent != nil {
+		s.agent.FinishEpisode(s.sm.Now())
+	}
+}
+
+// Close finalizes the learning episode (if Result has not already) and
+// marks the session unusable. It is idempotent and never fails; the error
+// return exists for io.Closer-style call sites.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.finishEpisode()
+	if s.pumpTimer.Pending() {
+		s.pumpTimer.Cancel()
+	}
+	s.closed = true
+	return nil
+}
