@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full profile examples-smoke clean
+.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke profile examples-smoke clean
 
 all: vet build test
 
@@ -16,15 +16,47 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench runs the kernel + hot-path micro-benchmarks and records them as
-# BENCH_kernels.json (benchstat-compatible: the "raw" array holds the
-# verbatim benchmark lines; the event-engine rows additionally land in the
-# "sim" section). Tracks the perf trajectory across PRs.
-bench:
+# The kernel micro-benchmark set (also the CI perf-regression smoke).
+KERNEL_BENCH = BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$|BenchmarkLSTMBPTT$$|BenchmarkEventLoop$$|BenchmarkSnapshot$$|BenchmarkAllocateEpoch$$|BenchmarkShardedEpoch$$
+
+# bench records the full perf trajectory of a PR as three committed JSONs:
+#   BENCH_kernels.json — kernel + hot-path micro-benchmarks
+#   BENCH_table1.json  — the end-to-end Table I run (ns/op, allocs/op, bytes)
+#   BENCH_scale.json   — the scale-10k preset at P=1/2/4/8 shards
+# (benchstat-compatible: the "raw" arrays hold the verbatim benchmark lines.)
+bench: bench-kernels bench-table1 bench-scale
+
+bench-kernels:
 	$(GO) test -run=NONE \
-		-bench='BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$|BenchmarkLSTMBPTT$$|BenchmarkEventLoop$$|BenchmarkSnapshot$$|BenchmarkAllocateEpoch$$' \
+		-bench='$(KERNEL_BENCH)' \
 		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@echo wrote BENCH_kernels.json
+
+bench-table1:
+	$(GO) test -run=NONE -bench='BenchmarkTable1_M30$$' -benchtime=1x -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson > BENCH_table1.json
+	@echo wrote BENCH_table1.json
+
+bench-scale:
+	$(GO) run ./cmd/scalebench -shards 1,2,4,8 -json BENCH_scale.json
+
+# bench-check is the CI perf-regression smoke: rerun the kernel set plus the
+# Table I benchmark and gate against the committed baselines (alloc-count
+# growth always fails; >15% ns/op fails when the cpu matches the baseline's,
+# and is a warning across different machines).
+bench-check:
+	( $(GO) test -run=NONE -bench='$(KERNEL_BENCH)' -benchmem -count=3 . ; \
+	  $(GO) test -run=NONE -bench='BenchmarkTable1_M30$$' -benchtime=1x -benchmem -count=1 . ) \
+		| $(GO) run ./cmd/benchguard BENCH_kernels.json BENCH_table1.json
+
+# scale prints the sharded engine's speedup table for the scale-10k preset
+# at P = 1..NumCPU on this machine; scale-smoke is the reduced CI variant
+# (small runners: 2 shards, 1/5 cluster, 1/10 workload).
+scale:
+	$(GO) run ./cmd/scalebench -cpus
+
+scale-smoke:
+	$(GO) run ./cmd/scalebench -shards 1,2 -m 2000 -jobs 200000
 
 # bench-full additionally regenerates the paper tables/figures benchmarks
 # (minutes, not seconds).

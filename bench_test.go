@@ -407,3 +407,50 @@ func benchView(m int, rng *mat.RNG) *cluster.View {
 	}
 	return v
 }
+
+// BenchmarkShardedEpoch measures the parallel tier's per-job overhead end to
+// end at a deliberately small scale (M=64, P=2, least-loaded over the RL
+// local tier): barrier release/join, lane stepping, merged log replay,
+// load-index allocation, and dispatch. One op = one job pushed through a
+// sharded session, so this row tracks the epoch machinery's cost across PRs
+// independently of the big scale runs (BENCH_scale.json).
+func BenchmarkShardedEpoch(b *testing.B) {
+	cfg := hierdrl.ScaleSim(64)
+	src, err := hierdrl.ScaleStream(2000+b.N, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := hierdrl.NewSession(cfg, hierdrl.WithShards(2), hierdrl.WithExpectedJobs(2000+b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	tr := &hierdrl.Trace{Jobs: make([]hierdrl.Job, 0, 2000+b.N)}
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	if err := s.SubmitTrace(tr); err != nil {
+		b.Fatal(err)
+	}
+	// Warm every pool (event slots, job pool, logs, metric buffers) on the
+	// first 2000 jobs, then measure live epochs.
+	warmup := tr.Jobs[1999].Arrival
+	if err := s.StepUntil(hierdrl.Time(warmup)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := s.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}

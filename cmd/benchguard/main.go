@@ -1,0 +1,180 @@
+// Command benchguard is the CI perf-regression gate: it reads a fresh
+// `go test -bench -benchmem` run from stdin and compares it against the
+// committed BENCH_*.json baselines (written by cmd/benchjson).
+//
+//	go test -run=NONE -bench='...' -benchmem . | benchguard BENCH_kernels.json BENCH_table1.json
+//
+// Rules:
+//
+//   - An allocs/op increase on any benchmark present in both runs fails —
+//     allocation counts are near-deterministic, so growth is a real
+//     regression regardless of the machine. Micro-benchmarks (baseline
+//     under 1000 allocs/op) are gated exactly; end-to-end benchmarks get a
+//     0.1% slack because concurrent runners contribute ±1-in-100k
+//     scheduling jitter. The baseline aggregates -count>1 samples by max.
+//   - A ns/op regression beyond -time-tol (default 15%) fails only when the
+//     fresh run's "cpu:" context matches the baseline's; across different
+//     machines wall-time comparison is noise, so it is reported as a warning
+//     instead.
+//   - Samples from -count>1 (baseline and fresh run alike) aggregate by
+//     median (time) and maximum (allocs) before judging.
+//
+// Exit status: 0 clean, 1 regression, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hierdrl/internal/benchfmt"
+)
+
+// baseline is the subset of cmd/benchjson's output benchguard consumes.
+type baseline struct {
+	Context    map[string]string    `json:"context"`
+	Benchmarks []benchfmt.Benchmark `json:"benchmarks"`
+}
+
+// entry aggregates one benchmark's baseline samples.
+type entry struct {
+	ns     []float64
+	allocs float64
+	hasAll bool
+	cpu    string
+}
+
+func main() {
+	timeTol := flag.Float64("time-tol", 0.15, "allowed fractional ns/op regression on a matching cpu")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: usage: go test -bench ... | benchguard BASELINE.json...")
+		os.Exit(2)
+	}
+
+	base := map[string]*entry{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		var b baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for _, bm := range b.Benchmarks {
+			name := benchfmt.NormalizeName(bm.Name)
+			e := base[name]
+			if e == nil {
+				e = &entry{allocs: -1, cpu: b.Context["cpu"]}
+				base[name] = e
+			}
+			e.ns = append(e.ns, bm.NsPerOp)
+			if bm.AllocsPerOp != nil {
+				if !e.hasAll || *bm.AllocsPerOp > e.allocs {
+					e.allocs = *bm.AllocsPerOp
+					e.hasAll = true
+				}
+			}
+		}
+	}
+
+	// Collect the whole fresh run first: repeated samples (-count>1)
+	// aggregate by median time / max allocs before judging, which keeps the
+	// 15% gate meaningful for microsecond benchmarks.
+	freshCPU := ""
+	fresh := map[string]*entry{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the run through so CI logs keep the raw numbers
+		if k, v, ok := benchfmt.ContextLine(line); ok && k == "cpu" {
+			freshCPU = v
+			continue
+		}
+		bm, ok := benchfmt.ParseLine(line)
+		if !ok {
+			continue
+		}
+		name := benchfmt.NormalizeName(bm.Name)
+		e := fresh[name]
+		if e == nil {
+			e = &entry{allocs: -1}
+			fresh[name] = e
+			order = append(order, name)
+		}
+		e.ns = append(e.ns, bm.NsPerOp)
+		if bm.AllocsPerOp != nil {
+			if !e.hasAll || *bm.AllocsPerOp > e.allocs {
+				e.allocs = *bm.AllocsPerOp
+				e.hasAll = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	compared := 0
+	for _, name := range order {
+		f := fresh[name]
+		e := base[name]
+		if e == nil {
+			fmt.Printf("benchguard: %-40s (no baseline, skipped)\n", name)
+			continue
+		}
+		compared++
+		if e.hasAll && f.hasAll {
+			limit := e.allocs
+			if limit >= 1000 {
+				limit *= 1.001 // end-to-end runs: absorb ±1-in-100k scheduling jitter
+			}
+			if f.allocs > limit {
+				fmt.Printf("benchguard: FAIL %-35s allocs/op %v > baseline %v\n", name, f.allocs, e.allocs)
+				failed = true
+			}
+		}
+		baseNs := median(e.ns)
+		if baseNs <= 0 {
+			continue
+		}
+		ratio := median(f.ns)/baseNs - 1
+		switch {
+		case ratio <= *timeTol:
+			fmt.Printf("benchguard: ok   %-35s %+6.1f%% time vs baseline\n", name, 100*ratio)
+		case freshCPU != "" && freshCPU == e.cpu:
+			fmt.Printf("benchguard: FAIL %-35s %+6.1f%% time vs baseline (> %0.f%%, same cpu)\n",
+				name, 100*ratio, 100**timeTol)
+			failed = true
+		default:
+			fmt.Printf("benchguard: warn %-35s %+6.1f%% time vs baseline (different cpu %q vs %q — not gating)\n",
+				name, 100*ratio, freshCPU, e.cpu)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark overlapped a baseline — wrong -bench filter?")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks within budget\n", compared)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

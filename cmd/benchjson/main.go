@@ -5,6 +5,11 @@
 // feed it to benchstat directly.
 //
 //	go test -run=NONE -bench=. -benchmem | benchjson > BENCH.json
+//
+// Besides BENCH_kernels.json, the Makefile uses it to record
+// BENCH_table1.json (the end-to-end Table I benchmark's ns/op, allocs/op
+// and bytes, under its own "table1" section). cmd/benchguard compares fresh
+// runs against these committed baselines in CI.
 package main
 
 import (
@@ -12,30 +17,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
-)
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
+	"hierdrl/internal/benchfmt"
+)
 
 // Output is the whole document.
 type Output struct {
-	Context    map[string]string `json:"context"`
-	Benchmarks []Benchmark       `json:"benchmarks"`
+	Context    map[string]string    `json:"context"`
+	Benchmarks []benchfmt.Benchmark `json:"benchmarks"`
 	// Sim mirrors the event-engine benchmarks (also present in Benchmarks)
 	// under their own key, so the simulation substrate's perf trajectory is
 	// separately machine-readable across PRs.
-	Sim []Benchmark `json:"sim,omitempty"`
-	Raw []string    `json:"raw"`
+	Sim []benchfmt.Benchmark `json:"sim,omitempty"`
+	// Table1 mirrors the end-to-end experiment benchmarks (BenchmarkTable1_*)
+	// the same way: the headline "one full run" cost per PR.
+	Table1 []benchfmt.Benchmark `json:"table1,omitempty"`
+	Raw    []string             `json:"raw"`
 }
 
 // simBenchmarks are the benchmark name prefixes that make up the "sim"
@@ -48,8 +46,8 @@ var simBenchmarks = []string{
 	"BenchmarkAllocateEpoch",
 }
 
-func isSimBenchmark(name string) bool {
-	for _, p := range simBenchmarks {
+func hasPrefixAny(name string, prefixes []string) bool {
+	for _, p := range prefixes {
 		if strings.HasPrefix(name, p) {
 			return true
 		}
@@ -63,22 +61,19 @@ func main() {
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
-		trimmed := strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(trimmed, "goos:"),
-			strings.HasPrefix(trimmed, "goarch:"),
-			strings.HasPrefix(trimmed, "pkg:"),
-			strings.HasPrefix(trimmed, "cpu:"):
+		if k, v, ok := benchfmt.ContextLine(line); ok {
 			out.Raw = append(out.Raw, line)
-			parts := strings.SplitN(trimmed, ":", 2)
-			out.Context[parts[0]] = strings.TrimSpace(parts[1])
-		case strings.HasPrefix(trimmed, "Benchmark"):
+			out.Context[k] = v
+			continue
+		}
+		if b, ok := benchfmt.ParseLine(line); ok {
 			out.Raw = append(out.Raw, line)
-			if b, ok := parseBench(trimmed); ok {
-				out.Benchmarks = append(out.Benchmarks, b)
-				if isSimBenchmark(b.Name) {
-					out.Sim = append(out.Sim, b)
-				}
+			out.Benchmarks = append(out.Benchmarks, b)
+			if hasPrefixAny(b.Name, simBenchmarks) {
+				out.Sim = append(out.Sim, b)
+			}
+			if strings.HasPrefix(b.Name, "BenchmarkTable1_") {
+				out.Table1 = append(out.Table1, b)
 			}
 		}
 	}
@@ -92,42 +87,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// parseBench parses "BenchmarkName-8  10  123 ns/op  4 B/op  2 allocs/op
-// 1.5 some_metric" into a Benchmark.
-func parseBench(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return Benchmark{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
-	// Remaining fields come in (value, unit) pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		unit := fields[i+1]
-		switch unit {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = &v
-		case "allocs/op":
-			b.AllocsPerOp = &v
-		case "MB/s":
-			b.MBPerSec = &v
-		default:
-			b.Metrics[unit] = v
-		}
-	}
-	if len(b.Metrics) == 0 {
-		b.Metrics = nil
-	}
-	return b, true
 }

@@ -7,6 +7,12 @@
 //	hiersim -system hierarchical -servers 30 -jobs 95000
 //	hiersim -system round-robin -servers 40 -jobs 20000 -series
 //	hiersim -system fixed-timeout -timeout 60 -trace mytrace.csv
+//	hiersim -system scale-10k -shards 8
+//
+// The scale-10k system is the multi-core single-run preset: 10,000 servers,
+// 2M jobs streamed from the generator, least-loaded dispatch over the
+// RL/LSTM local tier. -shards P partitions the cluster into P event lanes
+// stepped on P cores (the parallel tier; see DESIGN.md §12).
 //
 // Streaming mode ingests jobs from stdin line by line through the Session
 // API ("arrival,duration,cpu,mem,disk" CSV rows, header optional), advances
@@ -32,9 +38,11 @@ func main() {
 	log.SetPrefix("hiersim: ")
 
 	system := flag.String("system", "hierarchical",
-		"system to run: round-robin | drl-only | hierarchical | fixed-timeout")
-	servers := flag.Int("servers", 30, "cluster size M")
-	jobs := flag.Int("jobs", 95000, "synthetic workload length (ignored with -trace/-stream)")
+		"system to run: round-robin | drl-only | hierarchical | fixed-timeout | scale-10k")
+	servers := flag.Int("servers", 30, "cluster size M (scale-10k default: 10000)")
+	jobs := flag.Int("jobs", 95000, "synthetic workload length (ignored with -trace/-stream; scale-10k default: 2000000)")
+	shards := flag.Int("shards", 1,
+		"event-lane shards P: 1 = strict single-core tier, >= 2 = parallel tier (one worker per shard)")
 	warmup := flag.Int("warmup", 20000, "offline-phase rollout length for DRL systems")
 	timeout := flag.Float64("timeout", 60, "fixed timeout seconds (system=fixed-timeout)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -59,6 +67,18 @@ func main() {
 		cfg.Predictor = hierdrl.PredictorKind(*predictor)
 	case "fixed-timeout":
 		cfg = hierdrl.FixedTimeoutBaseline(*servers, *timeout)
+	case "scale-10k":
+		// The multi-core single-run preset: M=10,000 servers, 2M streamed
+		// jobs, least-loaded dispatch over the RL/LSTM local tier. The flag
+		// defaults above are for the paper-scale systems; rewrite them here
+		// unless the user overrode them.
+		if !flagWasSet("servers") {
+			*servers = hierdrl.ScaleM
+		}
+		if !flagWasSet("jobs") {
+			*jobs = hierdrl.ScaleJobs
+		}
+		cfg = hierdrl.ScaleSim(*servers)
 	default:
 		log.Fatalf("unknown system %q", *system)
 	}
@@ -85,7 +105,22 @@ func main() {
 		if *traceFile != "" {
 			log.Fatal("-trace replays a file; with -stream, pipe the CSV to stdin instead")
 		}
-		runStream(cfg, *snapEvery, *series)
+		runStream(cfg, *shards, *snapEvery, *series)
+		return
+	}
+
+	if *system == "scale-10k" && *traceFile == "" {
+		// The 2M-job workload is pulled from the generator incrementally —
+		// at this length the trace must never materialize.
+		src, err := hierdrl.ScaleStream(*jobs, *servers, *seed)
+		if err != nil {
+			log.Fatalf("workload: %v", err)
+		}
+		res, err := hierdrl.RunStreamed(cfg, src, hierdrl.WithShards(*shards))
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		printResult(res, *series)
 		return
 	}
 
@@ -107,18 +142,29 @@ func main() {
 		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
 	}
 
-	res, err := hierdrl.Run(cfg, tr)
+	res, err := hierdrl.RunWith(cfg, tr, hierdrl.WithShards(*shards))
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}
 	printResult(res, *series)
 }
 
+// flagWasSet reports whether the named flag was passed explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 // runStream drives the Session API end to end: Submit per stdin row,
 // StepUntil to chase the ingested arrivals, Snapshot for live progress,
 // Drain + Result at EOF.
-func runStream(cfg hierdrl.Config, snapEvery int, series bool) {
-	s, err := hierdrl.NewSession(cfg)
+func runStream(cfg hierdrl.Config, shards, snapEvery int, series bool) {
+	s, err := hierdrl.NewSession(cfg, hierdrl.WithShards(shards))
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}

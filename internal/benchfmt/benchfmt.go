@@ -1,0 +1,87 @@
+// Package benchfmt parses `go test -bench` text output into the benchmark
+// records shared by the perf-tracking tools (cmd/benchjson, which records
+// the BENCH_*.json baselines, and cmd/benchguard, which fails CI on
+// regressions against them).
+package benchfmt
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NormalizeName strips the trailing "-N" GOMAXPROCS suffix, so results
+// recorded on machines with different core counts compare by benchmark
+// identity.
+func NormalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// ContextLine parses a "goos:"/"goarch:"/"pkg:"/"cpu:" header line,
+// reporting ok=false for anything else.
+func ContextLine(line string) (key, value string, ok bool) {
+	trimmed := strings.TrimSpace(line)
+	for _, k := range [...]string{"goos", "goarch", "pkg", "cpu"} {
+		if strings.HasPrefix(trimmed, k+":") {
+			return k, strings.TrimSpace(trimmed[len(k)+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// ParseLine parses "BenchmarkName-8  10  123 ns/op  4 B/op  2 allocs/op
+// 1.5 some_metric" into a Benchmark, reporting ok=false for non-benchmark
+// lines.
+func ParseLine(line string) (Benchmark, bool) {
+	trimmed := strings.TrimSpace(line)
+	if !strings.HasPrefix(trimmed, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(trimmed)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		case "MB/s":
+			b.MBPerSec = &v
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

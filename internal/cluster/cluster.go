@@ -35,36 +35,75 @@ func (c Config) Validate() error {
 	return c.Server.Validate()
 }
 
-// Cluster aggregates M servers, maintains incremental totals (power draw,
-// jobs in system), and exposes the state snapshot the allocation tiers
-// consume.
-type Cluster struct {
-	cfg     Config
-	sm      *sim.Simulator
-	servers []*Server
+// shardGroup is one horizontal partition of the cluster: a contiguous server
+// range [lo, hi) stepped by its own event lane, carrying its own incremental
+// aggregates so no cross-shard cache line is written on the hot path. The
+// strict tier is the P=1 special case — one group over all servers, whose
+// aggregate arithmetic is instruction-for-instruction the historical
+// single-cluster bookkeeping (same accumulators, same update order), so
+// strict results are bitwise unchanged.
+type shardGroup struct {
+	sm     *sim.Simulator
+	lo, hi int
 
+	// Incremental aggregates over [lo, hi), all indexed shard-locally.
 	totalPower   float64
 	jobsInSystem int
 	prevPower    []float64
 	prevJobs     []int
 
-	// Incremental reliability-objective state. reliTerms caches every
-	// server's per-resource hot-spot penalty term (M*NumResources entries,
-	// server-major); reliHot is a bitmask of servers with at least one
-	// non-zero term, so ReliabilityObj sums sparsely over hot servers in
-	// ascending order instead of rescanning all M servers per event.
-	// jobBuckets is a counting multiset of per-server jobs-in-system values
-	// backing an O(1) running maximum.
-	reliTerms  []float64
-	reliHot    []uint64
-	jobBuckets []int
-	maxJobs    int
+	// Per-shard reliability partial state: reliTerms caches every local
+	// server's per-resource hot-spot penalty term, reliHot is a bitmask of
+	// local servers with a non-zero term, and reliSum memoizes the sparse
+	// ascending-order partial sum (recomputed only when reliDirty). The
+	// global objective is a fixed-shard-order reduction of these partials.
+	reliTerms []float64
+	reliHot   []uint64
+	reliDirty bool
+	reliSum   float64
+
+	// jobs is a counting multiset of local jobs-in-system values backing an
+	// O(1) running per-shard maximum.
+	jobs jobsMultiset
+
+	completed int64
+
+	// idx, when enabled, maintains the least-committed-server tournament
+	// tree over this shard (see LoadIndex).
+	idx *LoadIndex
+
+	// Async-mode logs. Exactly one worker goroutine owns a shard during a
+	// parallel phase, so appends are single-writer; the coordinator drains
+	// them at the epoch barrier (the barrier's synchronization orders the
+	// accesses).
+	changes []ChangeRec
+	dones   []DoneRec
+	trans   []TransRec
+}
+
+// Cluster aggregates M servers across one or more shard groups, maintains
+// incremental totals (power draw, jobs in system, reliability partial sums),
+// and exposes the state snapshot the allocation tiers consume.
+type Cluster struct {
+	cfg     Config
+	servers []*Server
+	shards  []shardGroup
+	shardOf []int32 // server id -> shard index
+
+	// async switches the hot-path callbacks from synchronous dispatch to
+	// per-shard logging (parallel tier). logChanges/logTransitions gate the
+	// corresponding log streams so runs without a consumer log nothing.
+	async          bool
+	logChanges     bool
+	logTransitions bool
 
 	// OnChange fires after any server changes power draw or occupancy, with
 	// aggregates already updated. The global DRL tier uses it to integrate
-	// its Eqn. (4) reward exactly.
+	// its Eqn. (4) reward exactly. In async mode it must be nil — the
+	// Merger's change-feed replay takes its place.
 	OnChange func(t sim.Time)
-	// OnJobDone fires when any job completes.
+	// OnJobDone fires when any job completes (async mode: replayed at the
+	// epoch barrier through DrainDones, in merged time order).
 	OnJobDone func(t sim.Time, j *Job)
 	// OnTransition fires after any server changes power mode (wake begin,
 	// wake complete, shutdown begin, shutdown complete). Nil by default;
@@ -73,41 +112,83 @@ type Cluster struct {
 	OnTransition func(t sim.Time, server int, from, to PowerState)
 
 	submitted int64
-	completed int64
+
+	// drainCur is the reusable per-shard cursor scratch of the barrier-time
+	// log merges (see shard.go).
+	drainCur []int
 }
 
-// New builds a cluster. dpmFactory is invoked once per server index to
-// produce that server's local power-management policy (the paper's
-// distributed local tier: one independent manager per machine).
+// New builds a single-lane cluster (the strict tier). dpmFactory is invoked
+// once per server index to produce that server's local power-management
+// policy (the paper's distributed local tier: one independent manager per
+// machine).
 func New(cfg Config, sm *sim.Simulator, dpmFactory func(serverID int) DPMPolicy) (*Cluster, error) {
+	return NewSharded(cfg, []*sim.Simulator{sm}, dpmFactory)
+}
+
+// NewSharded builds a cluster partitioned into len(lanes) contiguous shard
+// groups, server i belonging to the lane of its shard. The factory is still
+// invoked in ascending server order regardless of the partitioning, so every
+// RNG-splitting factory produces the exact construction-time draw sequence
+// of the strict tier.
+func NewSharded(cfg Config, lanes []*sim.Simulator, dpmFactory func(serverID int) DPMPolicy) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if dpmFactory == nil {
 		return nil, fmt.Errorf("cluster: nil DPM factory")
 	}
-	c := &Cluster{
-		cfg:        cfg,
-		sm:         sm,
-		servers:    make([]*Server, cfg.M),
-		prevPower:  make([]float64, cfg.M),
-		prevJobs:   make([]int, cfg.M),
-		reliTerms:  make([]float64, cfg.M*NumResources),
-		reliHot:    make([]uint64, (cfg.M+63)/64),
-		jobBuckets: make([]int, 8),
+	p := len(lanes)
+	if p <= 0 {
+		return nil, fmt.Errorf("cluster: no event lanes")
 	}
-	c.jobBuckets[0] = cfg.M // every server starts empty
+	if p > cfg.M {
+		return nil, fmt.Errorf("cluster: %d lanes for %d servers", p, cfg.M)
+	}
+	for i, sm := range lanes {
+		if sm == nil {
+			return nil, fmt.Errorf("cluster: nil lane %d", i)
+		}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		servers: make([]*Server, cfg.M),
+		shards:  make([]shardGroup, p),
+		shardOf: make([]int32, cfg.M),
+	}
+	// Balanced contiguous ranges: the first M%P shards take one extra server.
+	base, rem := cfg.M/p, cfg.M%p
+	lo := 0
+	for s := range c.shards {
+		n := base
+		if s < rem {
+			n++
+		}
+		g := &c.shards[s]
+		g.sm = lanes[s]
+		g.lo, g.hi = lo, lo+n
+		g.prevPower = make([]float64, n)
+		g.prevJobs = make([]int, n)
+		g.reliTerms = make([]float64, n*NumResources)
+		g.reliHot = make([]uint64, (n+63)/64)
+		g.jobs.init(n) // every server starts empty
+		for i := g.lo; i < g.hi; i++ {
+			c.shardOf[i] = int32(s)
+		}
+		lo += n
+	}
 	for i := 0; i < cfg.M; i++ {
 		dpm := dpmFactory(i)
-		s, err := NewServer(i, sm, cfg.Server, dpm)
+		g := &c.shards[c.shardOf[i]]
+		s, err := NewServer(i, g.sm, cfg.Server, dpm)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
 		s.SetHooks(c.serverUpdated, c.jobDone)
 		s.SetTransitionHook(c.serverTransition)
 		c.servers[i] = s
-		c.prevPower[i] = s.Power()
-		c.totalPower += s.Power()
+		g.prevPower[i-g.lo] = s.Power()
+		g.totalPower += s.Power()
 	}
 	return c, nil
 }
@@ -118,10 +199,52 @@ func (c *Cluster) M() int { return c.cfg.M }
 // Server returns server i.
 func (c *Cluster) Server(i int) *Server { return c.servers[i] }
 
-// Sim returns the simulator driving this cluster.
-func (c *Cluster) Sim() *sim.Simulator { return c.sm }
+// Sim returns the simulator driving the first shard (strict-tier callers,
+// which always run one lane).
+func (c *Cluster) Sim() *sim.Simulator { return c.shards[0].sm }
 
-// Submit dispatches job j to the given server at the current time.
+// Shards returns the number of shard groups.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// ShardRange returns the [lo, hi) server range of shard s.
+func (c *Cluster) ShardRange(s int) (lo, hi int) { return c.shards[s].lo, c.shards[s].hi }
+
+// ShardOf returns the shard index owning server i.
+func (c *Cluster) ShardOf(i int) int { return int(c.shardOf[i]) }
+
+// Lane returns shard s's simulator.
+func (c *Cluster) Lane(s int) *sim.Simulator { return c.shards[s].sm }
+
+// Clock returns the most advanced lane clock — for the strict tier, simply
+// the clock. (Individual lanes lag behind between epoch barriers.)
+func (c *Cluster) Clock() sim.Time {
+	now := c.shards[0].sm.Now()
+	for i := 1; i < len(c.shards); i++ {
+		if t := c.shards[i].sm.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// SetAsync switches the cluster's observation callbacks into per-shard
+// logging mode (the parallel tier): server events append ChangeRec/DoneRec/
+// TransRec entries to their shard's log instead of invoking OnChange/
+// OnJobDone/OnTransition synchronously, and the coordinator replays the
+// merged streams at each epoch barrier. logChanges must be set exactly when
+// a change-feed consumer (a Merger) exists; logTransitions exactly when a
+// transition observer is attached. OnChange must be nil in async mode.
+func (c *Cluster) SetAsync(logChanges, logTransitions bool) {
+	if c.OnChange != nil {
+		panic("cluster: SetAsync with a synchronous OnChange attached")
+	}
+	c.async = true
+	c.logChanges = logChanges
+	c.logTransitions = logTransitions
+}
+
+// Submit dispatches job j to the given server at the current time (of the
+// server's lane).
 func (c *Cluster) Submit(j *Job, server int) {
 	if server < 0 || server >= len(c.servers) {
 		panic(fmt.Sprintf("cluster: Submit to invalid server %d of %d", server, len(c.servers)))
@@ -132,89 +255,152 @@ func (c *Cluster) Submit(j *Job, server int) {
 
 func (c *Cluster) serverUpdated(t sim.Time, s *Server) {
 	i := s.ID()
+	g := &c.shards[c.shardOf[i]]
+	li := i - g.lo
 	jobs := s.JobsInSystem()
-	c.totalPower += s.Power() - c.prevPower[i]
-	c.jobsInSystem += jobs - c.prevJobs[i]
-	if old := c.prevJobs[i]; old != jobs {
-		c.bucketMove(old, jobs)
+	g.totalPower += s.Power() - g.prevPower[li]
+	g.jobsInSystem += jobs - g.prevJobs[li]
+	if old := g.prevJobs[li]; old != jobs {
+		g.jobs.move(old, jobs)
 	}
-	c.prevPower[i] = s.Power()
-	c.prevJobs[i] = jobs
-	c.updateReliTerms(i, s)
+	g.prevPower[li] = s.Power()
+	g.prevJobs[li] = jobs
+	updateReliTerms(g.reliTerms, g.reliHot, li, s.CommittedUtilization(), c.cfg.HotSpotThreshold)
+	g.reliDirty = true
+	if g.idx != nil {
+		g.idx.Update(li, s.CommittedLoad())
+	}
+	if c.async {
+		if c.logChanges {
+			g.changes = append(g.changes, ChangeRec{
+				At:     t,
+				Server: int32(i),
+				Jobs:   int32(jobs),
+				Power:  s.Power(),
+				CU:     s.CommittedUtilization(),
+			})
+		}
+		return
+	}
 	if c.OnChange != nil {
 		c.OnChange(t)
 	}
 }
 
-// bucketMove shifts one server's jobs-in-system count between multiset
-// buckets and maintains the running maximum in O(1) amortized time.
-func (c *Cluster) bucketMove(old, now int) {
-	c.jobBuckets[old]--
-	if now >= len(c.jobBuckets) {
-		grown := make([]int, 2*now+1)
-		copy(grown, c.jobBuckets)
-		c.jobBuckets = grown
-	}
-	c.jobBuckets[now]++
-	if now > c.maxJobs {
-		c.maxJobs = now
-	} else if old == c.maxJobs && c.jobBuckets[old] == 0 {
-		for c.maxJobs > 0 && c.jobBuckets[c.maxJobs] == 0 {
-			c.maxJobs--
-		}
-	}
-}
-
-// updateReliTerms recomputes server i's hot-spot penalty terms (the only
-// terms a single-server event can change) and its bit in the hot mask. The
-// per-term arithmetic is exactly the full scan's, so the cached values are
-// bitwise identical to freshly computed ones.
-func (c *Cluster) updateReliTerms(i int, s *Server) {
-	theta := c.cfg.HotSpotThreshold
+// updateReliTerms recomputes one server's hot-spot penalty terms (the only
+// terms a single-server event can change) and its bit in the hot mask; local
+// is the index within terms/hot. The per-term arithmetic is exactly the full
+// scan's, so the cached values are bitwise identical to freshly computed
+// ones. Shared verbatim by the per-shard partial state and the Merger's
+// strict-order global replay.
+func updateReliTerms(terms []float64, hot []uint64, local int, u Resources, theta float64) {
 	denom := (1 - theta) * (1 - theta)
-	u := s.CommittedUtilization()
-	base := i * NumResources
+	base := local * NumResources
 	any := false
 	for p, v := range u {
 		if over := v - theta; over > 0 {
-			c.reliTerms[base+p] = over * over / denom
+			terms[base+p] = over * over / denom
 			any = true
 		} else {
-			c.reliTerms[base+p] = 0
+			terms[base+p] = 0
 		}
 	}
 	if any {
-		c.reliHot[i/64] |= 1 << (uint(i) % 64)
+		hot[local/64] |= 1 << (uint(local) % 64)
 	} else {
-		c.reliHot[i/64] &^= 1 << (uint(i) % 64)
+		hot[local/64] &^= 1 << (uint(local) % 64)
 	}
 }
 
+// sparseReliSum sums the non-zero cached penalty terms in ascending index
+// order. Skipped terms are exactly 0.0 and adding 0.0 to a non-negative
+// accumulator is exact, so the sparse sum is bitwise identical to a full
+// in-order rescan of the cached terms.
+func sparseReliSum(terms []float64, hot []uint64) float64 {
+	var s float64
+	for w, word := range hot {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			base := (w*64 + b) * NumResources
+			for p := 0; p < NumResources; p++ {
+				if t := terms[base+p]; t != 0 {
+					s += t
+				}
+			}
+		}
+	}
+	return s
+}
+
+// reliPartial returns the shard's cached hot-spot partial sum, rescanned
+// only when a server event dirtied it. The cached value is the rescan's
+// value, so memoization never changes a bit.
+func (g *shardGroup) reliPartial() float64 {
+	if g.reliDirty {
+		g.reliSum = sparseReliSum(g.reliTerms, g.reliHot)
+		g.reliDirty = false
+	}
+	return g.reliSum
+}
+
 func (c *Cluster) serverTransition(t sim.Time, s *Server, from, to PowerState) {
+	if c.async {
+		if c.logTransitions {
+			g := &c.shards[c.shardOf[s.ID()]]
+			g.trans = append(g.trans, TransRec{At: t, Server: int32(s.ID()), From: from, To: to})
+		}
+		return
+	}
 	if c.OnTransition != nil {
 		c.OnTransition(t, s.ID(), from, to)
 	}
 }
 
 func (c *Cluster) jobDone(t sim.Time, j *Job) {
-	c.completed++
+	g := &c.shards[c.shardOf[j.Server]]
+	g.completed++
+	if c.async {
+		g.dones = append(g.dones, DoneRec{At: t, J: j})
+		return
+	}
 	if c.OnJobDone != nil {
 		c.OnJobDone(t, j)
 	}
 }
 
-// TotalPower returns the cluster's instantaneous draw in watts (maintained
-// incrementally; see InvariantCheck for the O(M) recomputation).
-func (c *Cluster) TotalPower() float64 { return c.totalPower }
+// TotalPower returns the cluster's instantaneous draw in watts: the
+// fixed-order reduction of the per-shard incremental accumulators (see
+// InvariantCheck for the O(M) recomputation). Parallel tier: barrier-time
+// only.
+func (c *Cluster) TotalPower() float64 {
+	p := c.shards[0].totalPower
+	for i := 1; i < len(c.shards); i++ {
+		p += c.shards[i].totalPower
+	}
+	return p
+}
 
 // JobsInSystem returns the number of jobs queued or running anywhere.
-func (c *Cluster) JobsInSystem() int { return c.jobsInSystem }
+func (c *Cluster) JobsInSystem() int {
+	n := c.shards[0].jobsInSystem
+	for i := 1; i < len(c.shards); i++ {
+		n += c.shards[i].jobsInSystem
+	}
+	return n
+}
 
 // Submitted returns the number of jobs dispatched so far.
 func (c *Cluster) Submitted() int64 { return c.submitted }
 
 // Completed returns the number of jobs finished so far.
-func (c *Cluster) Completed() int64 { return c.completed }
+func (c *Cluster) Completed() int64 {
+	n := c.shards[0].completed
+	for i := 1; i < len(c.shards); i++ {
+		n += c.shards[i].completed
+	}
+	return n
+}
 
 // TotalEnergyJoules integrates every server's energy through time t.
 func (c *Cluster) TotalEnergyJoules(t sim.Time) float64 {
@@ -234,47 +420,51 @@ func (c *Cluster) TotalEnergyJoules(t sim.Time) float64 {
 // no formula; DESIGN.md records this concretization. Both terms increase
 // when load piles onto individual machines, so the penalty is monotone in
 // exactly the placements reliability engineering forbids.
-// The value is maintained incrementally: each server event refreshes only
-// that server's cached penalty terms, and this accessor sums the non-zero
-// terms sparsely in ascending server order. Skipped terms are exactly 0.0
-// and adding 0.0 to a non-negative accumulator is exact, so the sparse sum
-// is bitwise identical to the full O(M·P) rescan (reliabilityRecompute, kept
-// for invariant checking).
+// The value is maintained incrementally as per-shard partial sums (each
+// server event refreshes only that server's cached penalty terms and dirties
+// its shard's partial), reduced here in fixed ascending shard order. With
+// one shard this is the historical sparse ascending sum, bit for bit; the
+// parallel tier's bitwise-exact change feed instead flows through the
+// Merger, which replays the strict global summation order.
 func (c *Cluster) ReliabilityObj() float64 {
-	var hot float64
-	for w, word := range c.reliHot {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			word &^= 1 << uint(b)
-			base := (w*64 + b) * NumResources
-			for p := 0; p < NumResources; p++ {
-				if t := c.reliTerms[base+p]; t != 0 {
-					hot += t
-				}
-			}
+	hot := c.shards[0].reliPartial()
+	maxJobs := c.shards[0].jobs.max
+	for i := 1; i < len(c.shards); i++ {
+		g := &c.shards[i]
+		hot += g.reliPartial()
+		if g.jobs.max > maxJobs {
+			maxJobs = g.jobs.max
 		}
 	}
-	return hot + float64(c.maxJobs)
+	return hot + float64(maxJobs)
 }
 
-// reliabilityRecompute is the reference O(M·P) scan of the reliability
-// objective. InvariantCheck and the equivalence tests compare it against the
-// incremental value bit for bit.
+// reliabilityRecompute is the reference scan of the reliability objective,
+// recomputing every penalty term from live server state in the same
+// per-shard partial-sum order the incremental path reduces in, so the
+// comparison is exact at any shard count. InvariantCheck and the equivalence
+// tests compare it against the incremental value bit for bit.
 func (c *Cluster) reliabilityRecompute() float64 {
 	theta := c.cfg.HotSpotThreshold
 	denom := (1 - theta) * (1 - theta)
 	var hot float64
 	maxJobs := 0
-	for _, s := range c.servers {
-		u := s.CommittedUtilization()
-		for _, v := range u {
-			if over := v - theta; over > 0 {
-				hot += over * over / denom
+	for gi := range c.shards {
+		g := &c.shards[gi]
+		var part float64
+		for i := g.lo; i < g.hi; i++ {
+			s := c.servers[i]
+			u := s.CommittedUtilization()
+			for _, v := range u {
+				if over := v - theta; over > 0 {
+					part += over * over / denom
+				}
+			}
+			if n := s.JobsInSystem(); n > maxJobs {
+				maxJobs = n
 			}
 		}
-		if n := s.JobsInSystem(); n > maxJobs {
-			maxJobs = n
-		}
+		hot += part
 	}
 	return hot + float64(maxJobs)
 }
@@ -296,10 +486,13 @@ func (c *Cluster) Snapshot() *View {
 	return c.SnapshotInto(&View{})
 }
 
-// SnapshotInto captures the current state of every server into v, reusing
-// its slices when already sized for this cluster. After the first call on a
-// given View the refresh is allocation-free. It returns v for convenience.
-func (c *Cluster) SnapshotInto(v *View) *View {
+// SnapshotPrepare sizes v's slices for this cluster (allocating only when
+// not already sized) and stamps M, without refreshing any server state. The
+// parallel tier prepares the shared view once, then each shard worker
+// refreshes its own disjoint range through SnapshotRange — the per-shard
+// view "buffers" alias non-overlapping sections of one backing array, so the
+// merge is free and the whole refresh is allocation-free once warm.
+func (c *Cluster) SnapshotPrepare(v *View) {
 	m := len(c.servers)
 	if len(v.Util) != m {
 		v.Util = make([]Resources, m)
@@ -308,15 +501,30 @@ func (c *Cluster) SnapshotInto(v *View) *View {
 		v.InSystem = make([]int, m)
 		v.State = make([]PowerState, m)
 	}
-	v.Now = c.sm.Now()
 	v.M = m
-	for i, s := range c.servers {
+}
+
+// SnapshotRange refreshes servers [lo, hi) of a prepared view. Distinct
+// ranges touch disjoint memory, so concurrent refreshes of different shards'
+// ranges are race-free.
+func (c *Cluster) SnapshotRange(v *View, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := c.servers[i]
 		v.Util[i] = s.Utilization()
 		v.Pending[i] = s.PendingDemand()
 		v.QueueLen[i] = s.QueueLen()
 		v.InSystem[i] = s.JobsInSystem()
 		v.State[i] = s.State()
 	}
+}
+
+// SnapshotInto captures the current state of every server into v, reusing
+// its slices when already sized for this cluster. After the first call on a
+// given View the refresh is allocation-free. It returns v for convenience.
+func (c *Cluster) SnapshotInto(v *View) *View {
+	c.SnapshotPrepare(v)
+	v.Now = c.Clock()
+	c.SnapshotRange(v, 0, len(c.servers))
 	return v
 }
 
@@ -329,16 +537,55 @@ func (c *Cluster) InvariantCheck() {
 		power += s.Power()
 		jobs += s.JobsInSystem()
 	}
-	if math.Abs(power-c.totalPower) > 1e-6 {
+	if math.Abs(power-c.TotalPower()) > 1e-6 {
 		panic(fmt.Sprintf("cluster: power drift: incremental %v recomputed %v",
-			c.totalPower, power))
+			c.TotalPower(), power))
 	}
-	if jobs != c.jobsInSystem {
+	if jobs != c.JobsInSystem() {
 		panic(fmt.Sprintf("cluster: jobs drift: incremental %d recomputed %d",
-			c.jobsInSystem, jobs))
+			c.JobsInSystem(), jobs))
 	}
 	if inc, ref := c.ReliabilityObj(), c.reliabilityRecompute(); inc != ref {
 		panic(fmt.Sprintf("cluster: reliability drift: incremental %v recomputed %v",
 			inc, ref))
+	}
+	for s := range c.shards {
+		if idx := c.shards[s].idx; idx != nil {
+			idx.invariantCheck(c, c.shards[s].lo)
+		}
+	}
+}
+
+// jobsMultiset is a counting multiset of per-server jobs-in-system values
+// backing an O(1) amortized running maximum. The shard groups and the
+// Merger share it so both maintain the co-location term with identical
+// (integer, hence exact) arithmetic.
+type jobsMultiset struct {
+	buckets []int
+	max     int
+}
+
+func (m *jobsMultiset) init(servers int) {
+	m.buckets = make([]int, 8)
+	m.buckets[0] = servers // every server starts empty
+	m.max = 0
+}
+
+// move shifts one server's jobs-in-system count between buckets and
+// maintains the running maximum.
+func (m *jobsMultiset) move(old, now int) {
+	m.buckets[old]--
+	if now >= len(m.buckets) {
+		grown := make([]int, 2*now+1)
+		copy(grown, m.buckets)
+		m.buckets = grown
+	}
+	m.buckets[now]++
+	if now > m.max {
+		m.max = now
+	} else if old == m.max && m.buckets[old] == 0 {
+		for m.max > 0 && m.buckets[m.max] == 0 {
+			m.max--
+		}
 	}
 }

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadIndex is a tournament (min-segment) tree over one shard's committed
+// loads, keeping the least-committed server queryable in O(1) with O(log n)
+// updates on server events. It exists because a latency-greedy allocator at
+// 10k-server scale cannot afford the historical O(M) snapshot scan per
+// arrival: with the index, the per-arrival cost collapses to a P-way reduce
+// over shard minima, and the O(log n) maintenance rides inside the shard
+// workers where it parallelizes.
+//
+// Tie-breaking prefers the lower index (left child on equality), which is
+// exactly the order the sequential scan's strict `<` comparison produces —
+// so the indexed argmin is bitwise-faithful to policy.LeastLoaded.
+type LoadIndex struct {
+	n     int
+	size  int       // leaf capacity: smallest power of two >= n
+	win   []int32   // win[k] = winning leaf index of internal node k (1-based heap layout)
+	loads []float64 // leaf values, +Inf for the [n, size) padding
+}
+
+func newLoadIndex(n int) *LoadIndex {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	x := &LoadIndex{
+		n:     n,
+		size:  size,
+		win:   make([]int32, size), // nodes 1..size-1 used; 0 unused
+		loads: make([]float64, size),
+	}
+	for i := n; i < size; i++ {
+		x.loads[i] = math.Inf(1)
+	}
+	x.rebuild()
+	return x
+}
+
+// rebuild recomputes every internal node bottom-up.
+func (x *LoadIndex) rebuild() {
+	if x.size == 1 {
+		return
+	}
+	for k := x.size - 1; k >= 1; k-- {
+		x.win[k] = x.winner(k)
+	}
+}
+
+// winner computes internal node k's winning leaf from its two children.
+func (x *LoadIndex) winner(k int) int32 {
+	l, r := 2*k, 2*k+1
+	var li, ri int32
+	if l >= x.size {
+		li, ri = int32(l-x.size), int32(r-x.size)
+	} else {
+		li, ri = x.win[l], x.win[r]
+	}
+	if x.loads[li] <= x.loads[ri] {
+		return li
+	}
+	return ri
+}
+
+// Update sets leaf local's load and repairs the path to the root. A no-op
+// when the load is unchanged (most power-only server events).
+func (x *LoadIndex) Update(local int, load float64) {
+	if x.loads[local] == load {
+		return
+	}
+	x.loads[local] = load
+	for k := (local + x.size) / 2; k >= 1; k /= 2 {
+		w := x.winner(k)
+		if w == x.win[k] && w != int32(local) {
+			// The node's winner is another leaf whose value is untouched, so
+			// this node's (winner, value) pair — and every ancestor's — is
+			// unchanged.
+			return
+		}
+		x.win[k] = w
+	}
+}
+
+// ArgMin returns the shard-local index and load of the least-committed
+// server (lowest index on ties).
+func (x *LoadIndex) ArgMin() (local int, load float64) {
+	if x.size == 1 {
+		return 0, x.loads[0]
+	}
+	w := x.win[1]
+	return int(w), x.loads[w]
+}
+
+// invariantCheck validates the tree against a fresh scan of live server
+// state (lo is the shard's global offset).
+func (x *LoadIndex) invariantCheck(c *Cluster, lo int) {
+	for i := 0; i < x.n; i++ {
+		if got, want := x.loads[i], c.servers[lo+i].CommittedLoad(); got != want {
+			panic(fmt.Sprintf("cluster: load index leaf %d drift: cached %v live %v", lo+i, got, want))
+		}
+	}
+	best, bestLoad := 0, x.loads[0]
+	for i := 1; i < x.n; i++ {
+		if x.loads[i] < bestLoad {
+			best, bestLoad = i, x.loads[i]
+		}
+	}
+	if got, _ := x.ArgMin(); got != best {
+		panic(fmt.Sprintf("cluster: load index argmin drift: tree %d scan %d", got, best))
+	}
+}
+
+// EnableLoadIndex builds the per-shard least-committed tournament trees and
+// keeps them maintained on every server event. Call once, before any event
+// fires (typically right after construction).
+func (c *Cluster) EnableLoadIndex() {
+	for s := range c.shards {
+		g := &c.shards[s]
+		if g.idx != nil {
+			continue
+		}
+		g.idx = newLoadIndex(g.hi - g.lo)
+		for i := g.lo; i < g.hi; i++ {
+			g.idx.Update(i-g.lo, c.servers[i].CommittedLoad())
+		}
+	}
+}
+
+// HasLoadIndex reports whether EnableLoadIndex has been called.
+func (c *Cluster) HasLoadIndex() bool { return c.shards[0].idx != nil }
+
+// LeastCommitted returns the server with the smallest committed load
+// (running plus queued demand, binding dimension), preferring lower indices
+// on exact ties — the same argmin, bit for bit, as policy.LeastLoaded's
+// sequential snapshot scan, including its >=2.0 sentinel fallback to server
+// 0. Parallel tier: barrier-time only.
+func (c *Cluster) LeastCommitted() int {
+	g0 := &c.shards[0]
+	local, best := g0.idx.ArgMin()
+	bestServer := g0.lo + local
+	for s := 1; s < len(c.shards); s++ {
+		g := &c.shards[s]
+		if l, load := g.idx.ArgMin(); load < best {
+			best, bestServer = load, g.lo+l
+		}
+	}
+	if best >= 2.0 {
+		// policy.LeastLoaded initializes its best at 2.0 and only moves on a
+		// strict improvement, so an all-overcommitted cluster yields 0.
+		return 0
+	}
+	return bestServer
+}

@@ -215,6 +215,14 @@ func (s *Server) CommittedUtilization() Resources {
 	return u
 }
 
+// CommittedLoad returns the binding-dimension committed load — exactly the
+// expression policy.LeastLoaded evaluates from a snapshot
+// (Utilization().Add(PendingDemand()).MaxFrac()), so the incremental
+// LoadIndex stays bitwise-faithful to the sequential scan.
+func (s *Server) CommittedLoad() float64 {
+	return s.Utilization().Add(s.pending).MaxFrac()
+}
+
 // Power returns the instantaneous power draw in watts.
 func (s *Server) Power() float64 { return s.lastPower }
 

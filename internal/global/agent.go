@@ -145,6 +145,34 @@ func (a *Agent) ObserveCluster(t sim.Time, powerW float64, jobsInSystem int, rel
 // minibatch training at sequence boundaries.
 func (a *Agent) Allocate(j *cluster.Job, v *cluster.View) int {
 	a.enc.EncodeInto(v, j, &a.encScratch)
+	return a.allocateEncoded(j, v)
+}
+
+// PrepareGather readies the agent for range-gathered encoding: the encode
+// scratch is shaped once so shard workers can fill disjoint server ranges of
+// it concurrently through PreEncodeServers.
+func (a *Agent) PrepareGather() { a.enc.EnsureShape(&a.encScratch) }
+
+// PreEncodeServers refreshes the encode scratch's group features for servers
+// [lo, hi) — the sharded engine's gather phase, with each shard worker
+// encoding its own range in parallel (ranges are disjoint, so the writes
+// never race). Call PrepareGather once first.
+func (a *Agent) PreEncodeServers(v *cluster.View, lo, hi int) {
+	a.enc.EncodeServersInto(v, &a.encScratch, lo, hi)
+}
+
+// AllocatePreEncoded runs one decision epoch whose group features were
+// already gathered through PreEncodeServers; only the job part is encoded
+// here. The epoch — including the single batched GEMM that evaluates all K
+// Sub-Q heads — is otherwise identical to Allocate, and because the gathered
+// features are computed with Allocate's exact per-server arithmetic, the
+// decision stream is bitwise identical too.
+func (a *Agent) AllocatePreEncoded(j *cluster.Job, v *cluster.View) int {
+	a.enc.EncodeJobInto(j, &a.encScratch)
+	return a.allocateEncoded(j, v)
+}
+
+func (a *Agent) allocateEncoded(j *cluster.Job, v *cluster.View) int {
 	state := a.encScratch
 	a.bufferAESamples(state)
 

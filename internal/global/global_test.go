@@ -435,3 +435,54 @@ func TestAgentValidatesConfig(t *testing.T) {
 		t.Fatal("invalid config accepted")
 	}
 }
+
+// TestEncodeServersRangeMatchesFull asserts that range-gathered encoding —
+// the sharded engine's parallel per-shard encode — writes a state bitwise
+// identical to the sequential EncodeInto, for ranges that straddle group
+// boundaries.
+func TestEncodeServersRangeMatchesFull(t *testing.T) {
+	m, k := 12, 3
+	enc, err := NewEncoder(m, k, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mat.NewRNG(5)
+	v := &cluster.View{
+		M:        m,
+		Util:     make([]cluster.Resources, m),
+		Pending:  make([]cluster.Resources, m),
+		QueueLen: make([]int, m),
+		InSystem: make([]int, m),
+		State:    make([]cluster.PowerState, m),
+	}
+	for i := 0; i < m; i++ {
+		v.Util[i] = cluster.Resources{rng.Float64(), rng.Float64(), rng.Float64()}
+		v.Pending[i] = cluster.Resources{1.5 * rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	j := &cluster.Job{Duration: 900, Req: cluster.Resources{0.3, 0.2, 0.1}}
+
+	var full State
+	enc.EncodeInto(v, j, &full)
+
+	var ranged State
+	enc.EnsureShape(&ranged)
+	// Shard-shaped ranges: 12 servers in 5+4+3, none aligned to the group
+	// size of 4.
+	enc.EncodeServersInto(v, &ranged, 0, 5)
+	enc.EncodeServersInto(v, &ranged, 5, 9)
+	enc.EncodeServersInto(v, &ranged, 9, 12)
+	enc.EncodeJobInto(j, &ranged)
+
+	for g := range full.Groups {
+		for i := range full.Groups[g] {
+			if math.Float64bits(full.Groups[g][i]) != math.Float64bits(ranged.Groups[g][i]) {
+				t.Fatalf("group %d[%d]: %v vs %v", g, i, full.Groups[g][i], ranged.Groups[g][i])
+			}
+		}
+	}
+	for i := range full.Job {
+		if math.Float64bits(full.Job[i]) != math.Float64bits(ranged.Job[i]) {
+			t.Fatalf("job[%d]: %v vs %v", i, full.Job[i], ranged.Job[i])
+		}
+	}
+}

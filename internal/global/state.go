@@ -132,31 +132,54 @@ func (e *Encoder) EncodeInto(v *cluster.View, j *cluster.Job, dst *State) {
 	if v.M != e.m {
 		panic(fmt.Sprintf("global: snapshot M=%d encoder M=%d", v.M, e.m))
 	}
+	e.EnsureShape(dst)
+	e.EncodeServersInto(v, dst, 0, e.m)
+	e.EncodeJobInto(j, dst)
+}
+
+// EnsureShape sizes dst's buffers for this encoder without writing any
+// feature, so disjoint server ranges of a pre-shaped state can be filled
+// concurrently (EncodeServersInto) before the single-threaded epoch reads it.
+func (e *Encoder) EnsureShape(dst *State) {
 	if len(dst.Groups) != e.k {
 		dst.Groups = make([]mat.Vec, e.k)
 	}
-	const maxCommitted = 2.0
 	gd := e.GroupDim()
 	for k := 0; k < e.k; k++ {
-		g := dst.Groups[k]
-		if len(g) != gd {
-			g = mat.NewVec(gd)
-			dst.Groups[k] = g
-		}
-		for o := 0; o < e.groupSize; o++ {
-			srv := e.ServerOf(k, o)
-			for p := 0; p < cluster.NumResources; p++ {
-				committed := v.Util[srv][p] + v.Pending[srv][p]
-				if committed > maxCommitted {
-					committed = maxCommitted
-				}
-				g[o*cluster.NumResources+p] = committed
-			}
+		if len(dst.Groups[k]) != gd {
+			dst.Groups[k] = mat.NewVec(gd)
 		}
 	}
 	if len(dst.Job) != e.JobDim() {
 		dst.Job = mat.NewVec(e.JobDim())
 	}
+}
+
+// EncodeServersInto refreshes the group-state features of servers [lo, hi)
+// in a pre-shaped dst (see EnsureShape). Every server owns a disjoint
+// NumResources-wide strip of its group's vector, so concurrent calls over
+// disjoint ranges are race-free — this is the shard-aware encode: each shard
+// worker gathers its own servers' features in parallel, and the decision
+// epoch's batched Q evaluation reads the assembled state. The per-server
+// arithmetic is exactly EncodeInto's, so a range-gathered state is bitwise
+// identical to a sequentially encoded one.
+func (e *Encoder) EncodeServersInto(v *cluster.View, dst *State, lo, hi int) {
+	const maxCommitted = 2.0
+	for srv := lo; srv < hi; srv++ {
+		g := dst.Groups[srv/e.groupSize]
+		o := srv % e.groupSize
+		for p := 0; p < cluster.NumResources; p++ {
+			committed := v.Util[srv][p] + v.Pending[srv][p]
+			if committed > maxCommitted {
+				committed = maxCommitted
+			}
+			g[o*cluster.NumResources+p] = committed
+		}
+	}
+}
+
+// EncodeJobInto refreshes the job part s_j of a pre-shaped dst.
+func (e *Encoder) EncodeJobInto(j *cluster.Job, dst *State) {
 	for p := 0; p < cluster.NumResources; p++ {
 		dst.Job[p] = j.Req[p]
 	}

@@ -67,6 +67,14 @@ type Collector struct {
 	// OnCheckpoint fires after each checkpoint is recorded (requires a
 	// positive checkpoint interval). Nil by default.
 	OnCheckpoint func(cp Checkpoint)
+
+	// CheckpointClock, when non-nil, overrides the instant a checkpoint's
+	// energy is integrated at (and stamped with). The sharded engine sets it
+	// to the epoch-barrier time: completions are replayed at the barrier,
+	// when other shards' servers have already integrated past the completion
+	// instant, so barrier time is the earliest instant at which a consistent
+	// whole-cluster energy reading exists (DESIGN.md §12).
+	CheckpointClock func() sim.Time
 }
 
 // NewCollector returns a collector that records a checkpoint every
@@ -87,11 +95,15 @@ func (c *Collector) JobDone(t sim.Time, j *cluster.Job) {
 	c.waits = append(c.waits, j.WaitTime())
 	c.completed++
 	if c.checkpointEvery > 0 && c.completed%c.checkpointEvery == 0 {
+		ct := t
+		if c.CheckpointClock != nil {
+			ct = c.CheckpointClock()
+		}
 		cp := Checkpoint{
 			Jobs:          c.completed,
-			Time:          t,
+			Time:          ct,
 			AccLatencySec: c.accLatency,
-			EnergykWh:     c.clusterRef.TotalEnergyJoules(t) / JoulesPerKWh,
+			EnergykWh:     c.clusterRef.TotalEnergyJoules(ct) / JoulesPerKWh,
 		}
 		c.checkpoints = append(c.checkpoints, cp)
 		if c.OnCheckpoint != nil {

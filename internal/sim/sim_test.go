@@ -413,3 +413,69 @@ func TestCancelSubsetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunBeforeExcludesBoundary asserts the sharded-lane stepping contract:
+// RunBefore(t) fires strictly-before events only and leaves the clock at the
+// last fired event, so an epoch-time dispatch can still precede same-instant
+// lane events.
+func TestRunBeforeExcludesBoundary(t *testing.T) {
+	s := New()
+	var fired []int
+	s.Schedule(1, func() { fired = append(fired, 1) })
+	s.Schedule(2, func() { fired = append(fired, 2) })
+	s.Schedule(2, func() { fired = append(fired, 3) })
+	s.Schedule(3, func() { fired = append(fired, 4) })
+	if n := s.RunBefore(2); n != 1 {
+		t.Fatalf("RunBefore(2) fired %d events, want 1", n)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("RunBefore(2) fired %v, want [1]", fired)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("clock at %v after RunBefore(2), want 1 (last fired event)", s.Now())
+	}
+	if n := s.RunBefore(10); n != 3 {
+		t.Fatalf("RunBefore(10) fired %d events, want 3", n)
+	}
+	if want := []int{1, 2, 3, 4}; len(fired) != 4 || fired[1] != want[1] || fired[3] != want[3] {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if n := s.RunBefore(100); n != 0 {
+		t.Fatalf("RunBefore on empty queue fired %d events", n)
+	}
+}
+
+// TestAdvanceTo asserts the quiescent clock jump and both misuse panics.
+func TestAdvanceTo(t *testing.T) {
+	s := New()
+	s.AdvanceTo(5)
+	if s.Now() != 5 {
+		t.Fatalf("Now=%v after AdvanceTo(5)", s.Now())
+	}
+	// Jumping to the timestamp of a pending event is allowed (the event
+	// fires afterwards at == now); jumping over it is not.
+	s.Schedule(7, func() {})
+	s.AdvanceTo(7)
+	if s.Now() != 7 {
+		t.Fatalf("Now=%v after AdvanceTo(7)", s.Now())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo over a pending event did not panic")
+			}
+		}()
+		s.AdvanceTo(8)
+	}()
+	if !s.Step() {
+		t.Fatal("pending event did not fire")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo into the past did not panic")
+			}
+		}()
+		s.AdvanceTo(3)
+	}()
+}

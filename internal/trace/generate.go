@@ -102,51 +102,93 @@ func (c GeneratorConfig) Validate() error {
 	return nil
 }
 
-// Generate produces a synthetic trace. The same seed always yields the same
-// trace.
-func Generate(cfg GeneratorConfig, seed int64) (*Trace, error) {
+// Stream is the incremental form of Generate: it produces the exact job
+// sequence Generate would (same RNG draw order, bit for bit) one job at a
+// time, so multi-million-job workloads — the scale-10k preset streams >= 2M
+// jobs — never materialize in memory. A Stream is not safe for concurrent
+// use.
+type Stream struct {
+	cfg        GeneratorConfig
+	rng        *mat.RNG
+	now        float64
+	burstUntil float64
+	nextBurst  float64
+	produced   int
+}
+
+// NewStream validates cfg and returns a generator positioned before the
+// first job. cfg.NumJobs bounds the stream.
+func NewStream(cfg GeneratorConfig, seed int64) (*Stream, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := mat.NewRNG(seed)
+	return &Stream{
+		cfg:        cfg,
+		rng:        rng,
+		burstUntil: -1.0,
+		nextBurst:  rng.Exponential(1 / cfg.MeanBurstEvery),
+	}, nil
+}
+
+// Produced returns the number of jobs generated so far.
+func (g *Stream) Produced() int { return g.produced }
+
+// Next returns the next job of the workload; ok is false once cfg.NumJobs
+// jobs have been produced.
+func (g *Stream) Next() (j Job, ok bool) {
+	if g.produced >= g.cfg.NumJobs {
+		return Job{}, false
+	}
+	cfg, rng := &g.cfg, g.rng
+	// Instantaneous rate = base * diurnal(t) * burst(t). We sample the
+	// next gap from the current rate (piecewise-constant approximation,
+	// refreshed at every arrival — gaps are seconds, modulation periods
+	// are hours, so the approximation error is negligible).
+	rate := cfg.BaseRate * (1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*g.now/86400-math.Pi/2))
+	if g.now >= g.nextBurst && g.burstUntil < g.now {
+		g.burstUntil = g.now + rng.Exponential(1/cfg.MeanBurstLen)
+		g.nextBurst = g.now + rng.Exponential(1/cfg.MeanBurstEvery)
+	}
+	if g.now < g.burstUntil {
+		rate *= cfg.BurstRateFactor
+	}
+	g.now += rng.Exponential(rate)
+
+	dur := clamp(rng.LogNormal(math.Log(cfg.DurationLogMedian), cfg.DurationLogSigma),
+		cfg.MinDuration, cfg.MaxDuration)
+	cpu := clamp(rng.LogNormal(math.Log(cfg.CPULogMedian), cfg.CPULogSigma),
+		cfg.MinReq, cfg.MaxReq)
+	memIndep := rng.LogNormal(math.Log(cfg.CPULogMedian), cfg.CPULogSigma)
+	mem := clamp(cfg.MemCorrelation*cpu+(1-cfg.MemCorrelation)*memIndep,
+		cfg.MinReq, cfg.MaxReq)
+	disk := clamp(rng.LogNormal(math.Log(cfg.DiskLogMedian), cfg.DiskLogSigma),
+		cfg.MinReq, cfg.MaxReq)
+
+	j = Job{
+		ID:       g.produced,
+		Arrival:  g.now,
+		Duration: dur,
+		Req:      [NumResources]float64{cpu, mem, disk},
+	}
+	g.produced++
+	return j, true
+}
+
+// Generate produces a synthetic trace. The same seed always yields the same
+// trace (and the same sequence a Stream with that seed yields).
+func Generate(cfg GeneratorConfig, seed int64) (*Trace, error) {
+	g, err := NewStream(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
 	t := &Trace{Jobs: make([]Job, 0, cfg.NumJobs)}
-
-	now := 0.0
-	burstUntil := -1.0
-	nextBurst := rng.Exponential(1 / cfg.MeanBurstEvery)
-
-	for i := 0; i < cfg.NumJobs; i++ {
-		// Instantaneous rate = base * diurnal(t) * burst(t). We sample the
-		// next gap from the current rate (piecewise-constant approximation,
-		// refreshed at every arrival — gaps are seconds, modulation periods
-		// are hours, so the approximation error is negligible).
-		rate := cfg.BaseRate * (1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*now/86400-math.Pi/2))
-		if now >= nextBurst && burstUntil < now {
-			burstUntil = now + rng.Exponential(1/cfg.MeanBurstLen)
-			nextBurst = now + rng.Exponential(1/cfg.MeanBurstEvery)
+	for {
+		j, ok := g.Next()
+		if !ok {
+			break
 		}
-		if now < burstUntil {
-			rate *= cfg.BurstRateFactor
-		}
-		gap := rng.Exponential(rate)
-		now += gap
-
-		dur := clamp(rng.LogNormal(math.Log(cfg.DurationLogMedian), cfg.DurationLogSigma),
-			cfg.MinDuration, cfg.MaxDuration)
-		cpu := clamp(rng.LogNormal(math.Log(cfg.CPULogMedian), cfg.CPULogSigma),
-			cfg.MinReq, cfg.MaxReq)
-		memIndep := rng.LogNormal(math.Log(cfg.CPULogMedian), cfg.CPULogSigma)
-		mem := clamp(cfg.MemCorrelation*cpu+(1-cfg.MemCorrelation)*memIndep,
-			cfg.MinReq, cfg.MaxReq)
-		disk := clamp(rng.LogNormal(math.Log(cfg.DiskLogMedian), cfg.DiskLogSigma),
-			cfg.MinReq, cfg.MaxReq)
-
-		t.Jobs = append(t.Jobs, Job{
-			ID:       i,
-			Arrival:  now,
-			Duration: dur,
-			Req:      [NumResources]float64{cpu, mem, disk},
-		})
+		t.Jobs = append(t.Jobs, j)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: generated trace invalid: %w", err)

@@ -207,6 +207,32 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteCSVStream writes jobs pulled from next (until it reports false) in
+// the canonical CSV format, without requiring the workload to exist in
+// memory — the scale-10k preset writes 2M-job traces through it.
+func WriteCSVStream(w io.Writer, next func() (Job, bool)) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("arrival,duration,cpu,mem,disk\n"); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for {
+		j, ok := next()
+		if !ok {
+			break
+		}
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%s,%s\n",
+			formatF(j.Arrival), formatF(j.Duration),
+			formatF(j.Req[CPU]), formatF(j.Req[Memory]), formatF(j.Req[Disk]))
+		if err != nil {
+			return fmt.Errorf("trace: write job %d: %w", j.ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
 func formatF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
 // ParseCSVRow parses one canonical "arrival,duration,cpu,mem,disk" row into

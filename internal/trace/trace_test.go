@@ -335,3 +335,67 @@ func TestComputeStatsEmptyAndSingle(t *testing.T) {
 		t.Fatalf("single-job stats wrong: %+v", s)
 	}
 }
+
+// TestStreamMatchesGenerate asserts the incremental generator yields exactly
+// Generate's job sequence (same RNG draw order, bit for bit), in both
+// one-at-a-time and batch consumption.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumJobs = 2000
+	want := MustGenerate(cfg, 31)
+
+	g, err := NewStream(cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		j, ok := g.Next()
+		if !ok {
+			if i != len(want.Jobs) {
+				t.Fatalf("stream produced %d jobs, want %d", i, len(want.Jobs))
+			}
+			break
+		}
+		w := want.Jobs[i]
+		if j.ID != w.ID || j.Arrival != w.Arrival || j.Duration != w.Duration || j.Req != w.Req {
+			t.Fatalf("job %d: stream %+v generate %+v", i, j, w)
+		}
+	}
+	if g.Produced() != cfg.NumJobs {
+		t.Fatalf("Produced() = %d, want %d", g.Produced(), cfg.NumJobs)
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("stream produced past NumJobs")
+	}
+	if _, err := NewStream(GeneratorConfig{}, 1); err == nil {
+		t.Fatal("NewStream accepted an invalid config")
+	}
+}
+
+// TestWriteCSVStreamRoundTrip asserts the streaming writer emits exactly the
+// canonical format ReadCSV parses back.
+func TestWriteCSVStreamRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumJobs = 200
+	want := MustGenerate(cfg, 8)
+	g, err := NewStream(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSVStream(&buf, g.Next); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("round trip %d jobs, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Jobs {
+		if got.Jobs[i].Arrival != want.Jobs[i].Arrival || got.Jobs[i].Req != want.Jobs[i].Req {
+			t.Fatalf("job %d: %+v vs %+v", i, got.Jobs[i], want.Jobs[i])
+		}
+	}
+}

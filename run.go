@@ -19,10 +19,17 @@ import (
 // Result — and a Session driven the same way produces bitwise-identical
 // results.
 func Run(cfg Config, tr *Trace) (*Result, error) {
+	return RunWith(cfg, tr)
+}
+
+// RunWith is Run with session options — most usefully WithShards(P) to
+// execute one large run on P cores (the parallel tier), and WithObserver to
+// watch a batch run live.
+func RunWith(cfg Config, tr *Trace, opts ...SessionOption) (*Result, error) {
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("hierdrl: empty trace")
 	}
-	s, err := NewSession(cfg)
+	s, err := NewSession(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +138,14 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
 
 // WriteTraceCSV writes a trace in the canonical CSV format.
 func WriteTraceCSV(w io.Writer, tr *Trace) error { return tr.WriteCSV(w) }
+
+// WriteTraceCSVStream writes jobs pulled from next (until it reports false)
+// in the canonical CSV format, so multi-million-job workloads can be written
+// without materializing (pair with ScaleStream / GenerateTrace's streaming
+// form).
+func WriteTraceCSVStream(w io.Writer, next func() (Job, bool)) error {
+	return trace.WriteCSVStream(w, next)
+}
 
 // ParseTraceCSVRow parses one "arrival,duration,cpu,mem,disk" row into a
 // Job, for streaming frontends that feed Session.Submit line by line (the

@@ -10,6 +10,7 @@ import (
 	"hierdrl/internal/global"
 	"hierdrl/internal/mat"
 	"hierdrl/internal/metrics"
+	"hierdrl/internal/policy"
 	"hierdrl/internal/sim"
 	"hierdrl/internal/trace"
 )
@@ -43,6 +44,7 @@ type sessionOptions struct {
 	obs        Observer
 	ctx        context.Context
 	expectJobs int
+	shards     int
 }
 
 // SessionOption configures NewSession.
@@ -69,6 +71,21 @@ func WithContext(ctx context.Context) SessionOption {
 // buffers for n jobs, so a bounded stream runs allocation-free once warm.
 func WithExpectedJobs(n int) SessionOption {
 	return func(o *sessionOptions) { o.expectJobs = n }
+}
+
+// WithShards selects the session's execution tier. p <= 1 (the default) is
+// the strict tier: one event lane, one goroutine, bitwise-reproducible
+// against the historical engine. p >= 2 is the parallel tier: the cluster is
+// partitioned into p contiguous server groups, each stepped on its own event
+// lane by its own worker, synchronizing only at arrival decision epochs
+// (see shard_engine.go and DESIGN.md §12 for the determinism contract:
+// results at a fixed p are bitwise reproducible run to run and match the
+// strict tier within documented tolerance). The DRL warmup pass, when
+// configured, always runs strict — sharding applies to the measured session.
+//
+// A sharded session owns p worker goroutines; Close releases them.
+func WithShards(p int) SessionOption {
+	return func(o *sessionOptions) { o.shards = p }
 }
 
 // Session is the long-lived, streaming form of one experiment run: the same
@@ -110,6 +127,17 @@ type Session struct {
 	// nothing); view is the reused allocator snapshot.
 	pool []*cluster.Job
 	view cluster.View
+
+	// Allocator fast paths, classified once at construction: fastLL answers
+	// least-loaded from the cluster's incremental per-shard index (no O(M)
+	// snapshot scan per arrival), viewFree skips the snapshot refresh for
+	// allocators that never read server state (round-robin, random). Both
+	// produce bitwise-identical decisions to the snapshot path.
+	fastLL   bool
+	viewFree bool
+
+	// sr drives the parallel tier (nil in the strict tier).
+	sr *shardRunner
 
 	finished bool
 	closed   bool
@@ -153,14 +181,21 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 // measured session and the warmup rollout are passes; the agent (if any)
 // persists across them so learning accumulates.
 func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int, o sessionOptions) (*Session, error) {
-	sm := sim.New()
+	p := o.shards
+	if p < 1 {
+		p = 1
+	}
+	lanes := make([]*sim.Simulator, p)
+	for i := range lanes {
+		lanes[i] = sim.New()
+	}
 	// The factory callback cannot return an error through cluster.New, and
 	// registered factories may legitimately fail (external policies validate
 	// inside their factory): capture the first failure and surface it. The
 	// nil policy makes cluster.New abort on that server, so no partially
 	// built cluster escapes.
 	var pmErr error
-	cl, err := cluster.New(cfg.Cluster, sm, func(id int) cluster.DPMPolicy {
+	cl, err := cluster.NewSharded(cfg.Cluster, lanes, func(id int) cluster.DPMPolicy {
 		pm, e := buildPowerManager(&cfg, id, rng)
 		if e != nil {
 			if pmErr == nil {
@@ -184,7 +219,7 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	s := &Session{
 		cfg:   cfg,
 		agent: agent,
-		sm:    sm,
+		sm:    lanes[0],
 		cl:    cl,
 		alloc: alloc,
 		col:   metrics.NewCollector(cl, checkpointEvery),
@@ -194,15 +229,58 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	if o.ctx != nil {
 		s.done = o.ctx.Done()
 	}
-	if agent != nil {
-		cl.OnChange = func(t sim.Time) {
-			agent.ObserveCluster(t, cl.TotalPower(), cl.JobsInSystem(), cl.ReliabilityObj())
-		}
+	// Classify the allocator's state needs once: least-loaded runs off the
+	// cluster's incremental per-shard load index (enabled here so it is
+	// maintained from the first event), round-robin and random never read
+	// server state, everything else gets a refreshed snapshot per arrival.
+	switch alloc.(type) {
+	case *policy.LeastLoaded:
+		s.fastLL = true
+		cl.EnableLoadIndex()
+	case *policy.RoundRobin, *policy.Random:
+		s.viewFree = true
+		cl.SnapshotPrepare(&s.view) // M is the only field such allocators read
 	}
-	cl.OnJobDone = s.jobDone
+
 	s.col.OnCheckpoint = o.obs.OnCheckpoint
-	if o.obs.OnModeTransition != nil {
-		cl.OnTransition = o.obs.OnModeTransition
+	if p == 1 {
+		// Strict tier: synchronous callbacks on the single lane.
+		if agent != nil {
+			cl.OnChange = func(t sim.Time) {
+				agent.ObserveCluster(t, cl.TotalPower(), cl.JobsInSystem(), cl.ReliabilityObj())
+			}
+		}
+		cl.OnJobDone = s.jobDone
+		if o.obs.OnModeTransition != nil {
+			cl.OnTransition = o.obs.OnModeTransition
+		}
+	} else {
+		// Parallel tier: per-shard observation logs, replayed in merged time
+		// order at each epoch barrier (shard_engine.go).
+		cl.SetAsync(agent != nil, o.obs.OnModeTransition != nil)
+		r := &shardRunner{s: s, p: p}
+		r.fastLL = s.fastLL
+		r.needsView = !s.fastLL && !s.viewFree
+		r.onDone = s.jobDone
+		if o.obs.OnModeTransition != nil {
+			r.onTrans = o.obs.OnModeTransition
+		}
+		if agent != nil {
+			r.preEncode = true
+			agent.PrepareGather()
+			m := cluster.NewMerger(cl)
+			m.OnChange = agent.ObserveCluster
+			r.merger = m
+		}
+		s.col.CheckpointClock = func() sim.Time { return r.clock }
+		// Shard 0 runs inline on the coordinator; one worker per remaining
+		// shard (the barrier counts those p-1 arrivals).
+		r.bar.init(p - 1)
+		cl.SnapshotPrepare(&r.view)
+		for i := 1; i < p; i++ {
+			go r.worker(i)
+		}
+		s.sr = r
 	}
 	if o.expectJobs > 0 {
 		s.Reserve(o.expectJobs)
@@ -304,9 +382,10 @@ func sessionPumpFire(a any) { a.(*Session).pumpFire() }
 // arm keeps exactly one pending-arrival timer scheduled, in the simulator's
 // priority lane so a streamed arrival takes the same queue position an
 // up-front-scheduled arrival historically had (arrivals win timestamp ties
-// against simulation-spawned events).
+// against simulation-spawned events). The parallel tier needs no pump: its
+// epoch loop pulls arrivals from the queue directly.
 func (s *Session) arm() {
-	if s.qhead >= len(s.queue) {
+	if s.sr != nil || s.qhead >= len(s.queue) {
 		return
 	}
 	at := sim.Time(s.queue[s.qhead].Arrival)
@@ -337,7 +416,20 @@ func (s *Session) pumpFire() {
 	} else {
 		j = cluster.NewJob(tj)
 	}
-	target := s.alloc.Allocate(j, s.cl.SnapshotInto(&s.view))
+	var target int
+	switch {
+	case s.fastLL:
+		// Least-loaded answers from the incrementally maintained load index
+		// — the same argmin, bit for bit, as the O(M) snapshot scan it
+		// replaces (essential at 10k-server scale, where a per-arrival scan
+		// would dominate the whole run).
+		target = s.cl.LeastCommitted()
+	case s.viewFree:
+		// Round-robin and random read only the cluster size.
+		target = s.alloc.Allocate(j, &s.view)
+	default:
+		target = s.alloc.Allocate(j, s.cl.SnapshotInto(&s.view))
+	}
 	s.cl.Submit(j, target)
 	s.arm()
 }
@@ -374,7 +466,9 @@ func (s *Session) ctxErr() error {
 
 // guard bounds total event count relative to ingested jobs, protecting
 // callers from a runaway self-rescheduling model. Every job spawns a bounded
-// number of follow-up events; 64 per job is a generous ceiling.
+// number of follow-up events; 64 per job is a generous ceiling. (The
+// parallel tier applies the same bound summed across lanes; see
+// shardRunner.guard.)
 func (s *Session) guard() error {
 	if s.sm.Fired() > 64*s.ingested+1024 {
 		return fmt.Errorf("hierdrl: event budget exceeded (%d events for %d jobs): runaway model",
@@ -383,12 +477,18 @@ func (s *Session) guard() error {
 	return nil
 }
 
-// Step fires the next pending event, advancing the clock to its timestamp.
-// It reports whether an event fired (false means the queue is idle — either
-// drained or awaiting submissions).
+// Step advances the engine by one unit of work and reports whether anything
+// fired (false means the engine is idle — drained or awaiting submissions).
+// In the strict tier the unit is one event; in the parallel tier it is one
+// decision epoch (every lane quiesced up to the next arrival, which is then
+// allocated) or, with no arrivals left, one closing phase that drains the
+// lanes.
 func (s *Session) Step() (bool, error) {
 	if s.closed {
 		return false, ErrSessionClosed
+	}
+	if s.sr != nil {
+		return s.sr.step()
 	}
 	if err := s.ctxErr(); err != nil {
 		return false, err
@@ -405,6 +505,9 @@ func (s *Session) Step() (bool, error) {
 func (s *Session) StepUntil(t Time) error {
 	if s.closed {
 		return ErrSessionClosed
+	}
+	if s.sr != nil {
+		return s.sr.stepUntil(t)
 	}
 	for i := 0; ; i++ {
 		if i&255 == 0 {
@@ -431,6 +534,9 @@ func (s *Session) Drain() error {
 	if s.closed {
 		return ErrSessionClosed
 	}
+	if s.sr != nil {
+		return s.sr.drainAll()
+	}
 	for i := 0; ; i++ {
 		if i&255 == 0 {
 			if err := s.ctxErr(); err != nil {
@@ -446,8 +552,15 @@ func (s *Session) Drain() error {
 	}
 }
 
-// Now returns the current simulated time.
-func (s *Session) Now() Time { return s.sm.Now() }
+// Now returns the current simulated time: the single lane's clock in the
+// strict tier, the engine clock (max lane clock, updated at every barrier)
+// in the parallel tier.
+func (s *Session) Now() Time {
+	if s.sr != nil {
+		return s.sr.clock
+	}
+	return s.sm.Now()
+}
 
 // Pending returns the number of ingested jobs not yet dispatched.
 func (s *Session) Pending() int { return len(s.queue) - s.qhead }
@@ -481,25 +594,44 @@ type SessionSnapshot struct {
 	View *ClusterView
 }
 
-// Snapshot captures a live view of the session. It allocates a fresh
-// ClusterView per call; it is a monitoring surface, not a hot-path one.
+// Snapshot captures a live view of the session into a fresh ClusterView.
+// Monitoring loops that snapshot repeatedly should use SnapshotInto, which
+// reuses the buffers.
 func (s *Session) Snapshot() SessionSnapshot {
-	now := s.sm.Now()
-	snap := SessionSnapshot{
-		Now:             now,
-		Ingested:        s.ingested,
-		Completed:       s.cl.Completed(),
-		PendingArrivals: s.Pending(),
-		JobsInSystem:    s.cl.JobsInSystem(),
-		TotalPowerW:     s.cl.TotalPower(),
-		EnergykWh:       s.cl.TotalEnergyJoules(now) / JoulesPerKWh,
-		AccLatencySec:   s.col.AccLatency(),
-		View:            s.cl.Snapshot(),
-	}
-	if n := s.col.Completed(); n > 0 {
-		snap.AvgLatencySec = snap.AccLatencySec / float64(n)
-	}
+	var snap SessionSnapshot
+	s.SnapshotInto(&snap)
 	return snap
+}
+
+// SnapshotInto refreshes dst with a live view of the session, reusing
+// dst.View's buffers (allocated on first use): a warm refresh performs no
+// heap allocation. It is safe wherever Snapshot is — between clock advances
+// and inside Observer callbacks: in the parallel tier every callback runs at
+// an epoch barrier with all lanes quiescent, each shard's range of the view
+// is refreshed from its own servers, and the per-shard aggregates reduce in
+// fixed shard order, so a mid-run snapshot is race-free and deterministic.
+func (s *Session) SnapshotInto(dst *SessionSnapshot) {
+	if dst.View == nil {
+		dst.View = &ClusterView{}
+	}
+	now := s.Now()
+	if s.sr != nil {
+		s.sr.snapshotRefresh(dst.View)
+	} else {
+		s.cl.SnapshotInto(dst.View)
+	}
+	dst.Now = now
+	dst.Ingested = s.ingested
+	dst.Completed = s.cl.Completed()
+	dst.PendingArrivals = s.Pending()
+	dst.JobsInSystem = s.cl.JobsInSystem()
+	dst.TotalPowerW = s.cl.TotalPower()
+	dst.EnergykWh = s.cl.TotalEnergyJoules(now) / JoulesPerKWh
+	dst.AccLatencySec = s.col.AccLatency()
+	dst.AvgLatencySec = 0
+	if n := s.col.Completed(); n > 0 {
+		dst.AvgLatencySec = dst.AccLatencySec / float64(n)
+	}
 }
 
 // Result finalizes the run and returns the measurements: the Table I summary
@@ -516,8 +648,11 @@ func (s *Session) Result() (*Result, error) {
 	}
 	s.finishEpisode()
 	s.cl.InvariantCheck()
+	if s.sr != nil && s.sr.merger != nil {
+		s.sr.merger.InvariantCheck(s.cl)
+	}
 	res := &Result{
-		Summary:     s.col.Summarize(s.cfg.Name, s.sm.Now()),
+		Summary:     s.col.Summarize(s.cfg.Name, s.Now()),
 		Checkpoints: s.col.Checkpoints(),
 	}
 	for i := 0; i < s.cl.M(); i++ {
@@ -537,13 +672,14 @@ func (s *Session) finishEpisode() {
 	}
 	s.finished = true
 	if s.agent != nil {
-		s.agent.FinishEpisode(s.sm.Now())
+		s.agent.FinishEpisode(s.Now())
 	}
 }
 
-// Close finalizes the learning episode (if Result has not already) and
-// marks the session unusable. It is idempotent and never fails; the error
-// return exists for io.Closer-style call sites.
+// Close finalizes the learning episode (if Result has not already), stops
+// the parallel tier's lane workers, and marks the session unusable. It is
+// idempotent and never fails; the error return exists for io.Closer-style
+// call sites.
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
@@ -551,6 +687,9 @@ func (s *Session) Close() error {
 	s.finishEpisode()
 	if s.pumpTimer.Pending() {
 		s.pumpTimer.Cancel()
+	}
+	if s.sr != nil {
+		s.sr.stop()
 	}
 	s.closed = true
 	return nil

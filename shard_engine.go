@@ -1,0 +1,421 @@
+package hierdrl
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hierdrl/internal/cluster"
+	"hierdrl/internal/sim"
+)
+
+// This file is the parallel execution tier (WithShards(P), P >= 2): the
+// cluster is partitioned into P contiguous server groups, each owning its
+// own event lane (timers, FCFS queues, power-mode transitions, incremental
+// reliability partial sums) stepped by a dedicated worker goroutine. The
+// hierarchical model makes this sound: below the global allocation tier,
+// servers never interact — every event a server schedules lands on that same
+// server — so between two arrival decision epochs the P lanes are fully
+// independent. The global agent's decision epoch is the only synchronization
+// point. Each epoch runs as one barrier-delimited phase:
+//
+//	release -> workers: [commit previous dispatch] + run own lane up to the
+//	           epoch instant + [refresh own view range / pre-encode]
+//	join    -> coordinator: replay merged observation logs (change feed for
+//	           the DRL reward integral, completions for metrics + observer,
+//	           transitions), then allocate the arrival against the gathered
+//	           state, and pend its dispatch for the next phase.
+//
+// Determinism: lanes are deterministic sequential simulators, per-shard RNG
+// chains are derived exactly as in the strict tier, and every merged replay
+// orders records by (time, shard index) — a pure function of the simulation,
+// never of goroutine scheduling. Results at a fixed P are bitwise
+// reproducible run to run, and equal to the strict tier within the tolerance
+// documented in DESIGN.md §12 (exactly equal whenever no two shards fire an
+// observable event at the same instant, which has probability ~1 under
+// continuous arrival processes).
+
+// infTime bounds an unbounded phase; every schedulable instant is finite
+// (sim.Schedule rejects NaN and nothing schedules at +Inf), so running
+// "before infTime" drains a lane.
+const infTime = sim.Time(math.MaxFloat64)
+
+// runMode selects what a worker does with its lane during one phase.
+type runMode uint8
+
+const (
+	// runBefore fires events strictly before cmd.until (epoch phases: the
+	// dispatch at the epoch instant must precede same-instant lane events,
+	// mirroring the strict tier's priority-lane arrivals).
+	runBefore runMode = iota
+	// runThrough fires events at or before cmd.until and advances the lane
+	// clock to exactly cmd.until (StepUntil's closing phase).
+	runThrough
+	// runAll drains the lane (closing phases of Drain).
+	runAll
+)
+
+// dispatch is one allocated arrival awaiting commitment: the target shard
+// executes it at the start of the next phase, which keeps the Submit's
+// cascade (queueing, wake-up, job start, DPM arrival epoch) inside the
+// parallel region instead of on the coordinator's critical path.
+type dispatch struct {
+	job    *cluster.Job
+	target int // server index
+	shard  int // target's shard
+	at     sim.Time
+}
+
+// phaseCmd is the coordinator-published work order of one phase. It is
+// written before the barrier release and read after the workers observe it,
+// so it needs no lock of its own.
+type phaseCmd struct {
+	mode    runMode
+	until   sim.Time
+	refresh bool // refresh gather-view ranges (and pre-encode for DRL)
+	d       dispatch
+	stop    bool
+}
+
+// epochBarrier is the two-sided synchronization of one phase: a generation
+// counter releases the workers (spin-then-park: consecutive epochs are
+// microseconds apart, so a bounded spin usually wins; the condition variable
+// catches idle stretches), and an arrival countdown hands completion back to
+// the coordinator through a one-slot channel.
+type epochBarrier struct {
+	p       int // worker count (shards 1..P-1; shard 0 is the coordinator's)
+	spin    int
+	gen     atomic.Uint64
+	arrived atomic.Int32
+	done    chan struct{}
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+func (b *epochBarrier) init(p int) {
+	b.p = p
+	b.done = make(chan struct{}, 1)
+	b.cond = sync.NewCond(&b.mu)
+	// Spinning only helps when every worker (and the coordinator) can hold a
+	// core; on an oversubscribed box parking immediately is faster.
+	if runtime.GOMAXPROCS(0) > p {
+		b.spin = 4096
+	} else {
+		b.spin = 64
+	}
+}
+
+// release publishes the new generation and wakes parked workers. The
+// arrival count is reset first — no worker from the previous phase can still
+// arrive, because the coordinator joined it.
+func (b *epochBarrier) release() {
+	b.arrived.Store(0)
+	b.mu.Lock()
+	b.gen.Add(1)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// await blocks until the generation moves past gen and returns the new one.
+func (b *epochBarrier) await(gen uint64) uint64 {
+	for i := 0; i < b.spin; i++ {
+		if g := b.gen.Load(); g != gen {
+			return g
+		}
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	g := b.gen.Load()
+	b.mu.Unlock()
+	return g
+}
+
+// arrive signals this worker's phase completion; the last one releases the
+// coordinator.
+func (b *epochBarrier) arrive() {
+	if b.arrived.Add(1) == int32(b.p) {
+		b.done <- struct{}{}
+	}
+}
+
+// join blocks the coordinator until every worker arrived.
+func (b *epochBarrier) join() { <-b.done }
+
+// shardRunner drives a sharded session: P lane workers, the epoch barrier,
+// the merged-replay machinery, and the gathered allocation view.
+type shardRunner struct {
+	s   *Session
+	p   int
+	bar epochBarrier
+	cmd phaseCmd
+
+	// merger replays the merged change feed through strict-order global
+	// bookkeeping for the DRL reward integral (nil without an agent).
+	merger *cluster.Merger
+
+	// view is the shared gather view: shard workers refresh disjoint server
+	// ranges during refresh phases, so "merging" the per-shard view buffers
+	// is free — they alias one backing array.
+	view cluster.View
+
+	// clock is the engine clock: the max lane clock, bumped at every join.
+	// It never runs behind any server's energy-integration watermark, so
+	// barrier-time snapshots and checkpoints integrate consistently.
+	clock sim.Time
+
+	// pend is the allocated-but-uncommitted dispatch (executed by its target
+	// shard in the next phase whose until covers it).
+	pend dispatch
+
+	// onDone/onTrans are the replay callbacks, bound once — passing a method
+	// value per round would allocate.
+	onDone  func(sim.Time, *cluster.Job)
+	onTrans func(sim.Time, int, cluster.PowerState, cluster.PowerState)
+
+	// Allocator strategy flags (classified once at construction).
+	needsView bool // allocator reads server state: refresh the view each epoch
+	fastLL    bool // least-loaded via the incremental per-shard LoadIndex
+	preEncode bool // DRL: workers pre-encode their server ranges
+
+	stopped bool
+}
+
+// runPhase executes one phase's work for shard id: commit the dispatch if it
+// targets this shard, step the lane, refresh the local view range. Shard 0
+// runs on the coordinator itself (saving one goroutine handoff per phase);
+// shards 1..P-1 run in their workers.
+func (r *shardRunner) runPhase(id int) {
+	cl := r.s.cl
+	lane := cl.Lane(id)
+	c := &r.cmd
+	if c.d.job != nil && c.d.shard == id {
+		lane.AdvanceTo(c.d.at)
+		cl.Submit(c.d.job, c.d.target)
+	}
+	switch c.mode {
+	case runBefore:
+		lane.RunBefore(c.until)
+	case runThrough:
+		lane.Run(c.until)
+	case runAll:
+		lane.RunBefore(infTime)
+	}
+	if c.refresh {
+		lo, hi := cl.ShardRange(id)
+		cl.SnapshotRange(&r.view, lo, hi)
+		if r.preEncode {
+			r.s.agent.PreEncodeServers(&r.view, lo, hi)
+		}
+	}
+}
+
+// worker is one lane's goroutine (shards 1..P-1): wait for a phase, run it,
+// arrive at the barrier.
+func (r *shardRunner) worker(id int) {
+	var gen uint64
+	for {
+		gen = r.bar.await(gen)
+		if r.cmd.stop {
+			r.bar.arrive()
+			return
+		}
+		r.runPhase(id)
+		r.bar.arrive()
+	}
+}
+
+// round runs one barrier-delimited phase and replays the merged observation
+// logs. The pending dispatch is attached when the phase covers its instant
+// (always true in the epoch loop — dispatch instants are monotone — and
+// checked explicitly so a bounded StepUntil never commits a dispatch beyond
+// its horizon). The coordinator overlaps shard 0's phase work with the
+// workers' before joining.
+func (r *shardRunner) round(mode runMode, until sim.Time, refresh bool) {
+	r.cmd = phaseCmd{mode: mode, until: until, refresh: refresh}
+	if r.pend.job != nil && r.pend.at <= until {
+		r.cmd.d = r.pend
+		r.pend = dispatch{}
+	}
+	r.bar.release()
+	r.runPhase(0)
+	r.bar.join()
+	if c := r.s.cl.Clock(); c > r.clock {
+		r.clock = c
+	}
+	r.replay()
+}
+
+// replay drains the merged observation streams on the coordinator: the
+// change feed into the DRL reward integral, completions into the collector,
+// the observer hooks, and the job pool, transitions into the observer. All
+// shards are quiescent here, so user callbacks may take a Session snapshot.
+func (r *shardRunner) replay() {
+	s := r.s
+	if r.merger != nil {
+		s.cl.DrainChanges(r.merger)
+	}
+	s.cl.DrainDones(r.onDone)
+	if r.onTrans != nil {
+		s.cl.DrainTrans(r.onTrans)
+	}
+}
+
+// guard bounds total event count relative to ingested jobs across all lanes
+// (the sharded form of Session.guard).
+func (r *shardRunner) guard() error {
+	var fired int64
+	for i := 0; i < r.p; i++ {
+		fired += r.s.cl.Lane(i).Fired()
+	}
+	if fired > 64*r.s.ingested+1024 {
+		return fmt.Errorf("hierdrl: event budget exceeded (%d events for %d jobs): runaway model",
+			fired, r.s.ingested)
+	}
+	return nil
+}
+
+// anyEvents reports whether any lane still has pending events.
+func (r *shardRunner) anyEvents() bool {
+	for i := 0; i < r.p; i++ {
+		if r.s.cl.Lane(i).Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// step advances the engine by one decision epoch: quiesce every lane up to
+// the next arrival's instant, allocate it against the gathered state, and
+// pend its dispatch. With no arrivals left it runs one closing phase that
+// commits the last dispatch and drains the lanes. It reports whether the
+// engine did (or still has) work.
+func (r *shardRunner) step() (bool, error) {
+	s := r.s
+	if err := s.ctxErr(); err != nil {
+		return false, err
+	}
+	if err := r.guard(); err != nil {
+		return false, err
+	}
+	if s.qhead < len(s.queue) {
+		at := sim.Time(s.queue[s.qhead].Arrival)
+		if r.clock > at {
+			// A late submission: like the strict pump, dispatch at the
+			// current clock (latency still counts from the declared arrival).
+			at = r.clock
+		}
+		r.round(runBefore, at, r.needsView)
+		r.dispatchNext(at)
+		return true, nil
+	}
+	if r.pend.job != nil || r.anyEvents() {
+		r.round(runAll, infTime, false)
+		return true, nil
+	}
+	return false, nil
+}
+
+// dispatchNext pops the head arrival, allocates it at instant at, and pends
+// the dispatch for the next phase.
+func (r *shardRunner) dispatchNext(at sim.Time) {
+	s := r.s
+	tj := s.queue[s.qhead]
+	s.popHead()
+	var j *cluster.Job
+	if n := len(s.pool); n > 0 {
+		j = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		j.Renew(tj)
+	} else {
+		j = cluster.NewJob(tj)
+	}
+	r.view.Now = at
+	var target int
+	switch {
+	case r.fastLL:
+		// The per-shard tournament trees were maintained inside the lane
+		// workers; the decision collapses to a P-way reduce over shard
+		// minima — bitwise the same argmin as the O(M) snapshot scan.
+		target = s.cl.LeastCommitted()
+	case r.preEncode:
+		// Group features were gathered by the shard workers in parallel;
+		// the epoch evaluates all K Sub-Q heads over them as one batched
+		// GEMM (QNetwork.QValuesInto) exactly as the strict tier does.
+		target = s.agent.AllocatePreEncoded(j, &r.view)
+	default:
+		target = s.alloc.Allocate(j, &r.view)
+	}
+	r.pend = dispatch{job: j, target: target, shard: s.cl.ShardOf(target), at: at}
+}
+
+// drainAll runs decision epochs until every submitted job has completed and
+// every lane is idle.
+func (r *shardRunner) drainAll() error {
+	for {
+		more, err := r.step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// stepUntil dispatches every arrival reachable at or before t and then runs
+// every lane through t, leaving the engine clock at exactly t. Arrivals
+// whose dispatch instant falls beyond t (late submissions against an already
+// advanced clock) stay pending, exactly like the strict pump timer they
+// replace.
+func (r *shardRunner) stepUntil(t sim.Time) error {
+	s := r.s
+	for s.qhead < len(s.queue) && sim.Time(s.queue[s.qhead].Arrival) <= t && r.clock <= t {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+		if err := r.guard(); err != nil {
+			return err
+		}
+		at := sim.Time(s.queue[s.qhead].Arrival)
+		if r.clock > at {
+			at = r.clock
+		}
+		r.round(runBefore, at, r.needsView)
+		r.dispatchNext(at)
+	}
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
+	if r.clock <= t {
+		r.round(runThrough, t, false)
+		if t > r.clock {
+			r.clock = t
+		}
+	}
+	return nil
+}
+
+// snapshotRefresh refreshes the [lo, hi) ranges of a monitoring view on the
+// coordinator. All lanes are quiescent between phases, so the serial walk is
+// race-free (this is a monitoring surface, not the per-epoch gather path).
+func (r *shardRunner) snapshotRefresh(v *cluster.View) {
+	s := r.s
+	s.cl.SnapshotPrepare(v)
+	v.Now = r.clock
+	s.cl.SnapshotRange(v, 0, s.cl.M())
+}
+
+// stop terminates the lane workers. Idempotent.
+func (r *shardRunner) stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.cmd = phaseCmd{stop: true}
+	r.bar.release()
+	r.bar.join()
+}
