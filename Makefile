@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke profile examples-smoke clean
+.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke profile examples-smoke clean
 
 all: vet build test
 
@@ -57,6 +57,12 @@ scale:
 
 scale-smoke:
 	$(GO) run ./cmd/scalebench -shards 1,2 -m 2000 -jobs 200000
+
+# chaos-smoke is the fault-injection CI gate: the observer hammer (crash/
+# repair/retry hooks plus mid-run snapshots at P = 1/2/4) and the cross-run
+# bitwise reproducibility check, both under the race detector.
+chaos-smoke:
+	$(GO) test -race -run 'TestFaultObserverHammer|TestFaultReproducibleAcrossRuns' -v .
 
 # bench-full additionally regenerates the paper tables/figures benchmarks
 # (minutes, not seconds).

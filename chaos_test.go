@@ -1,0 +1,105 @@
+package hierdrl_test
+
+import (
+	"math"
+	"testing"
+
+	"hierdrl"
+)
+
+// TestFaultObserverHammer is the chaos soak: crash/repair injection with
+// every observer hook attached and a snapshot taken from inside the
+// callbacks (in the sharded tier that means at the epoch barrier, while the
+// worker goroutines exist), run twice per shard count under the race
+// detector. The fingerprint folds in every hook firing and a mid-run
+// snapshot, so it fails if fault injection perturbs determinism anywhere on
+// the observation surface — not just in the final summary.
+func TestFaultObserverHammer(t *testing.T) {
+	cfg := faultCfg(8)
+	cfg.Retry = hierdrl.RetryBackoff
+	tr := hierdrl.SyntheticTraceForCluster(1500, 8, 1)
+
+	for _, p := range []int{1, 2, 4} {
+		var ref uint64
+		for run := 0; run < 2; run++ {
+			fp, sum, err := hammerRun(cfg, tr, p)
+			if err != nil {
+				t.Fatalf("P=%d run %d: %v", p, run, err)
+			}
+			if run == 0 {
+				ref = fp
+				if sum.Failures == 0 || sum.JobsRetried == 0 {
+					t.Fatalf("P=%d: hammer saw no faults (failures=%d retried=%d); test is vacuous",
+						p, sum.Failures, sum.JobsRetried)
+				}
+				continue
+			}
+			if fp != ref {
+				t.Errorf("P=%d: observer fingerprints differ run to run: %#x vs %#x", p, ref, fp)
+			}
+		}
+	}
+}
+
+// hammerRun executes one observed fault run and reduces everything the hooks
+// saw — and a periodically refreshed snapshot — into one order-sensitive
+// fingerprint.
+func hammerRun(cfg hierdrl.Config, tr *hierdrl.Trace, p int) (uint64, hierdrl.Summary, error) {
+	var (
+		s    *hierdrl.Session
+		snap hierdrl.SessionSnapshot
+		fp   uint64
+		done int
+	)
+	mix := func(vs ...uint64) {
+		for _, v := range vs {
+			fp ^= v + 0x9E3779B97F4A7C15 + fp<<6 + fp>>2
+		}
+	}
+	obs := hierdrl.Observer{
+		OnJobDone: func(at hierdrl.Time, j *hierdrl.ClusterJob) {
+			mix(math.Float64bits(float64(at)), uint64(j.ID))
+			done++
+			if done%200 == 0 {
+				// Snapshot from inside a callback: all lanes are quiescent at
+				// the barrier, so this must be race-free and deterministic.
+				s.SnapshotInto(&snap)
+				mix(uint64(snap.Completed), uint64(snap.Failures),
+					math.Float64bits(snap.EnergykWh), math.Float64bits(snap.Availability),
+					math.Float64bits(snap.LostWorkSec), uint64(snap.ServersDown))
+			}
+		},
+		OnModeTransition: func(at hierdrl.Time, server int, from, to hierdrl.PowerState) {
+			mix(math.Float64bits(float64(at)), uint64(server), uint64(from)<<8|uint64(to))
+		},
+		OnServerFail: func(at hierdrl.Time, server int) {
+			mix(math.Float64bits(float64(at)), uint64(server), 0xFA11)
+		},
+		OnServerRepair: func(at hierdrl.Time, server int) {
+			mix(math.Float64bits(float64(at)), uint64(server), 0x4E9A)
+		},
+		OnJobRetry: func(at hierdrl.Time, jobID, attempt int, delaySec float64) {
+			mix(math.Float64bits(float64(at)), uint64(jobID), uint64(attempt),
+				math.Float64bits(delaySec))
+		},
+	}
+
+	s, err := hierdrl.NewSession(cfg, hierdrl.WithShards(p), hierdrl.WithObserver(obs))
+	if err != nil {
+		return 0, hierdrl.Summary{}, err
+	}
+	defer s.Close()
+	if err := s.SubmitTrace(tr); err != nil {
+		return 0, hierdrl.Summary{}, err
+	}
+	if err := s.Drain(); err != nil {
+		return 0, hierdrl.Summary{}, err
+	}
+	res, err := s.Result()
+	if err != nil {
+		return 0, hierdrl.Summary{}, err
+	}
+	bits := faultBits(res.Summary)
+	mix(bits[:]...)
+	return fp, res.Summary, nil
+}

@@ -8,6 +8,7 @@
 //	hiersim -system round-robin -servers 40 -jobs 20000 -series
 //	hiersim -system fixed-timeout -timeout 60 -trace mytrace.csv
 //	hiersim -system scale-10k -shards 8
+//	hiersim -system round-robin -faults exp-crash -mttf 20000 -mttr 600 -retry backoff
 //
 // The scale-10k system is the multi-core single-run preset: 10,000 servers,
 // 2M jobs streamed from the generator, least-loaded dispatch over the
@@ -24,10 +25,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hierdrl"
@@ -54,6 +57,14 @@ func main() {
 		"read jobs from stdin CSV and simulate as they arrive (Session streaming mode)")
 	snapEvery := flag.Int("snap-every", 1000,
 		"print a live snapshot every N streamed jobs (with -stream)")
+	faults := flag.String("faults", "none",
+		"failure model: none | exp-crash (independent exponential crash/repair per server)")
+	mttf := flag.Float64("mttf", 172800, "mean time to failure in seconds (with -faults exp-crash)")
+	mttr := flag.Float64("mttr", 600, "mean time to repair in seconds (with -faults exp-crash)")
+	retry := flag.String("retry", "backoff",
+		"requeue policy for crash-evicted jobs: immediate | backoff | drop-after")
+	retryMax := flag.Int("retry-max", 0,
+		"max retry attempts before a job is dropped (0 = unbounded; required > 0 with -retry drop-after)")
 	flag.Parse()
 
 	var cfg hierdrl.Config
@@ -83,6 +94,11 @@ func main() {
 		log.Fatalf("unknown system %q", *system)
 	}
 	cfg.Seed = *seed
+	cfg.Faults = hierdrl.FaultKind(*faults)
+	cfg.MTTFSec = *mttf
+	cfg.MTTRSec = *mttr
+	cfg.Retry = hierdrl.RetryKind(*retry)
+	cfg.RetryMax = *retryMax
 	if *series {
 		if *stream {
 			// The stream length is unknown up front; checkpoint at the
@@ -101,11 +117,17 @@ func main() {
 		cfg.WarmupTrace = hierdrl.SyntheticTraceForCluster(*warmup, *servers, *seed+1000)
 	}
 
+	// SIGINT cancels the session between events; the run then surfaces a
+	// final snapshot and exits cleanly instead of dying mid-simulation. A
+	// second interrupt (after stop restores the default handler) kills hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *stream {
 		if *traceFile != "" {
 			log.Fatal("-trace replays a file; with -stream, pipe the CSV to stdin instead")
 		}
-		runStream(cfg, *shards, *snapEvery, *series)
+		runStream(ctx, cfg, *shards, *snapEvery, *series)
 		return
 	}
 
@@ -116,8 +138,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("workload: %v", err)
 		}
-		res, err := hierdrl.RunStreamed(cfg, src, hierdrl.WithShards(*shards))
+		res, err := hierdrl.RunStreamed(cfg, src,
+			hierdrl.WithShards(*shards), hierdrl.WithContext(ctx))
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Println("interrupted — partial run discarded")
+				return
+			}
 			log.Fatalf("run: %v", err)
 		}
 		printResult(res, *series)
@@ -142,11 +169,42 @@ func main() {
 		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
 	}
 
-	res, err := hierdrl.RunWith(cfg, tr, hierdrl.WithShards(*shards))
+	runBatch(ctx, cfg, tr, *shards, *series)
+}
+
+// runBatch replays one materialized trace through a Session the command owns
+// (rather than the Run wrapper), so an interrupt can surface a final
+// snapshot of the partial run before exiting.
+func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards int, series bool) {
+	s, err := hierdrl.NewSession(cfg,
+		hierdrl.WithShards(shards), hierdrl.WithContext(ctx))
 	if err != nil {
-		log.Fatalf("run: %v", err)
+		log.Fatalf("session: %v", err)
 	}
-	printResult(res, *series)
+	defer s.Close()
+	if err := s.SubmitTrace(tr); err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		if ctx.Err() != nil {
+			exitInterrupted(s)
+		}
+		log.Fatalf("drain: %v", err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		log.Fatalf("result: %v", err)
+	}
+	printResult(res, series)
+}
+
+// exitInterrupted prints a final snapshot of a canceled session and exits
+// with status 0 (a partial run yields no Result, by design).
+func exitInterrupted(s *hierdrl.Session) {
+	fmt.Println("\ninterrupted — final snapshot:")
+	printSnapHeader()
+	printSnap(s.Snapshot())
+	os.Exit(0)
 }
 
 // flagWasSet reports whether the named flag was passed explicitly.
@@ -163,15 +221,15 @@ func flagWasSet(name string) bool {
 // runStream drives the Session API end to end: Submit per stdin row,
 // StepUntil to chase the ingested arrivals, Snapshot for live progress,
 // Drain + Result at EOF.
-func runStream(cfg hierdrl.Config, shards, snapEvery int, series bool) {
-	s, err := hierdrl.NewSession(cfg, hierdrl.WithShards(shards))
+func runStream(ctx context.Context, cfg hierdrl.Config, shards, snapEvery int, series bool) {
+	s, err := hierdrl.NewSession(cfg,
+		hierdrl.WithShards(shards), hierdrl.WithContext(ctx))
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}
 	defer s.Close()
 
-	fmt.Printf("%10s %10s %10s %8s %10s %12s %10s\n",
-		"t(s)", "submitted", "completed", "queued", "power(W)", "energy(kWh)", "avgLat(s)")
+	printSnapHeader()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	line := 0
@@ -192,6 +250,9 @@ func runStream(cfg hierdrl.Config, shards, snapEvery int, series bool) {
 			// Chase the stream: advance the clock to the newest arrival so
 			// the snapshot reflects live progress, not a deferred backlog.
 			if err := s.StepUntil(hierdrl.Time(job.Arrival)); err != nil {
+				if ctx.Err() != nil {
+					exitInterrupted(s)
+				}
 				log.Fatalf("step: %v", err)
 			}
 			printSnap(s.Snapshot())
@@ -204,6 +265,9 @@ func runStream(cfg hierdrl.Config, shards, snapEvery int, series bool) {
 		log.Fatal("no jobs on stdin")
 	}
 	if err := s.Drain(); err != nil {
+		if ctx.Err() != nil {
+			exitInterrupted(s)
+		}
 		log.Fatalf("drain: %v", err)
 	}
 	printSnap(s.Snapshot())
@@ -215,10 +279,19 @@ func runStream(cfg hierdrl.Config, shards, snapEvery int, series bool) {
 	printResult(res, series)
 }
 
+func printSnapHeader() {
+	fmt.Printf("%10s %10s %10s %8s %10s %12s %10s\n",
+		"t(s)", "submitted", "completed", "queued", "power(W)", "energy(kWh)", "avgLat(s)")
+}
+
 func printSnap(sn hierdrl.SessionSnapshot) {
 	fmt.Printf("%10.0f %10d %10d %8d %10.1f %12.3f %10.1f\n",
 		sn.Now.Seconds(), sn.Ingested, sn.Completed,
 		sn.PendingArrivals+sn.JobsInSystem, sn.TotalPowerW, sn.EnergykWh, sn.AvgLatencySec)
+	if sn.Failures > 0 {
+		fmt.Printf("%21s down=%d failures=%d retried=%d lost=%d availability=%.4f\n",
+			"faults:", sn.ServersDown, sn.Failures, sn.JobsRetried, sn.JobsLost, sn.Availability)
+	}
 }
 
 func printResult(res *hierdrl.Result, series bool) {
@@ -234,6 +307,12 @@ func printResult(res *hierdrl.Result, series bool) {
 	fmt.Printf("p95 latency       %.1f s\n", s.P95LatencySec)
 	fmt.Printf("mean wait         %.1f s\n", s.MeanWaitSec)
 	fmt.Printf("wakeups/shutdowns %d / %d\n", res.TotalWakeups, res.TotalShutdowns)
+	if s.Failures > 0 {
+		fmt.Printf("availability      %.4f\n", s.Availability)
+		fmt.Printf("failures/repairs  %d / %d (MTTR %.0f s)\n", s.Failures, s.Repairs, s.MTTRSec)
+		fmt.Printf("retried/lost      %d / %d (lost work %.0f s)\n",
+			s.JobsRetried, s.JobsLost, s.LostWorkSec)
+	}
 	if res.AgentDiag != "" {
 		fmt.Printf("agent             %s\n", res.AgentDiag)
 	}

@@ -214,6 +214,68 @@ func RunTradeoff(m int, sc Scale, lambdas []float64) (*TradeoffCurves, error) {
 	return out, nil
 }
 
+// FaultPoint is one cell of the fault sweep: an allocation policy run under
+// a given mean time to failure.
+type FaultPoint struct {
+	Alloc   AllocPolicy
+	MTTFSec float64
+	Summary Summary
+}
+
+// RunFaultSweep runs every non-learning allocation policy against the same
+// workload under increasing failure pressure (decreasing MTTF), with a fixed
+// 600s mean repair time and capped-backoff retries — the robustness
+// counterpart to RunComparison. It answers how gracefully each policy
+// degrades: availability, completed-work latency, retries, and lost work per
+// (policy, MTTF) cell. Points are ordered policy-major, matching the input
+// mttfs order within each policy.
+func RunFaultSweep(m int, sc Scale, mttfs []float64) ([]FaultPoint, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mttfs) == 0 {
+		return nil, fmt.Errorf("hierdrl: empty MTTF sweep")
+	}
+	for _, mttf := range mttfs {
+		if mttf <= 0 || math.IsInf(mttf, 0) || math.IsNaN(mttf) {
+			return nil, fmt.Errorf("hierdrl: MTTF %v must be positive and finite", mttf)
+		}
+	}
+	tr := sc.trace(0)
+	allocs := []AllocPolicy{AllocRoundRobin, AllocRandom, AllocLeastLoaded, AllocPackFit}
+	points := make([]FaultPoint, len(allocs)*len(mttfs))
+	tasks := make([]func() error, 0, len(points))
+	for ai, alloc := range allocs {
+		for mi, mttf := range mttfs {
+			ai, mi, alloc, mttf := ai, mi, alloc, mttf
+			tasks = append(tasks, func() error {
+				cfg := Config{
+					Name:            fmt.Sprintf("%s/mttf=%.0fs", alloc, mttf),
+					M:               m,
+					Seed:            sc.Seed,
+					Alloc:           alloc,
+					DPM:             DPMFixedTimeout,
+					FixedTimeoutSec: 60,
+					Faults:          FaultExpCrash,
+					MTTFSec:         mttf,
+					MTTRSec:         600,
+					Retry:           RetryBackoff,
+				}
+				res, err := Run(cfg, tr)
+				if err != nil {
+					return fmt.Errorf("hierdrl: fault sweep %s: %w", cfg.Name, err)
+				}
+				points[ai*len(mttfs)+mi] = FaultPoint{Alloc: alloc, MTTFSec: mttf, Summary: res.Summary}
+				return nil
+			})
+		}
+	}
+	if err := runParallel(tasks); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
 // PredictorScore reports one predictor's accuracy on a held-out stream (the
 // X1 extension experiment motivating the LSTM choice of Sec. VI-A).
 type PredictorScore struct {

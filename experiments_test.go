@@ -151,3 +151,44 @@ func TestParetoAndHypervolumeExports(t *testing.T) {
 		t.Fatalf("hypervolume %v", hv)
 	}
 }
+
+func TestRunFaultSweepTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight end-to-end fault runs; skip with -short")
+	}
+	mttfs := []float64{2000, 20000}
+	pts, err := RunFaultSweep(4, tinyScale(4), mttfs)
+	if err != nil {
+		t.Fatalf("RunFaultSweep: %v", err)
+	}
+	allocs := []AllocPolicy{AllocRoundRobin, AllocRandom, AllocLeastLoaded, AllocPackFit}
+	if len(pts) != len(allocs)*len(mttfs) {
+		t.Fatalf("points %d want %d", len(pts), len(allocs)*len(mttfs))
+	}
+	var totalFailures int64
+	for i, p := range pts {
+		if want := allocs[i/len(mttfs)]; p.Alloc != want {
+			t.Fatalf("point %d alloc %q want %q (policy-major order)", i, p.Alloc, want)
+		}
+		if want := mttfs[i%len(mttfs)]; p.MTTFSec != want {
+			t.Fatalf("point %d mttf %v want %v", i, p.MTTFSec, want)
+		}
+		if !(p.Summary.Availability > 0 && p.Summary.Availability <= 1) {
+			t.Fatalf("point %d availability %v", i, p.Summary.Availability)
+		}
+		if p.Summary.EnergykWh <= 0 {
+			t.Fatalf("point %d energy %v", i, p.Summary.EnergykWh)
+		}
+		totalFailures += p.Summary.Failures
+	}
+	if totalFailures == 0 {
+		t.Fatal("no failures across the whole sweep; MTTFs too gentle for the test to bite")
+	}
+
+	if _, err := RunFaultSweep(4, tinyScale(4), nil); err == nil {
+		t.Fatal("empty MTTF sweep accepted")
+	}
+	if _, err := RunFaultSweep(4, tinyScale(4), []float64{-1}); err == nil {
+		t.Fatal("negative MTTF accepted")
+	}
+}

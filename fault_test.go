@@ -1,0 +1,170 @@
+package hierdrl_test
+
+import (
+	"math"
+	"testing"
+
+	"hierdrl"
+)
+
+// faultCfg builds a baseline configuration with exponential crash/repair
+// faults aggressive enough that a few-thousand-job run sees multiple crashes.
+func faultCfg(m int) hierdrl.Config {
+	cfg := hierdrl.RoundRobin(m)
+	cfg.Name = "fault-baseline"
+	cfg.Alloc = hierdrl.AllocLeastLoaded
+	cfg.Faults = hierdrl.FaultExpCrash
+	cfg.MTTFSec = 20000
+	cfg.MTTRSec = 600
+	cfg.Retry = hierdrl.RetryImmediate
+	return cfg
+}
+
+// faultBits extends the shared summary fingerprint with every fault-facing
+// field, so two runs compare bitwise across both the base measurements and
+// the robustness telemetry.
+func faultBits(s hierdrl.Summary) [14]uint64 {
+	base := summaryBits(s)
+	return [14]uint64{
+		base[0], base[1], base[2], base[3], base[4], base[5], base[6], base[7],
+		math.Float64bits(s.Availability),
+		math.Float64bits(s.MTTRSec),
+		math.Float64bits(s.LostWorkSec),
+		uint64(s.Failures)<<32 | uint64(s.Repairs),
+		uint64(s.JobsInterrupted),
+		uint64(s.JobsRetried)<<32 | uint64(s.JobsLost),
+	}
+}
+
+// TestFaultInjectionStrict exercises the full crash -> evict -> requeue ->
+// complete cycle on the strict tier: with immediate retries every job must
+// still finish, and the robustness telemetry must be populated and sane.
+func TestFaultInjectionStrict(t *testing.T) {
+	cfg := faultCfg(6)
+	tr := hierdrl.SyntheticTraceForCluster(3000, 6, 1)
+
+	s, err := hierdrl.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SubmitTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary
+
+	if s.Completed() != int64(tr.Len()) {
+		t.Errorf("completed %d of %d jobs", s.Completed(), tr.Len())
+	}
+	if sum.Failures == 0 || sum.Repairs == 0 {
+		t.Errorf("expected crashes at MTTF=%vs over %vs: failures=%d repairs=%d",
+			cfg.MTTFSec, sum.DurationSec, sum.Failures, sum.Repairs)
+	}
+	if !(sum.Availability > 0 && sum.Availability < 1) {
+		t.Errorf("availability %v outside (0, 1)", sum.Availability)
+	}
+	if !(sum.MTTRSec > 0) {
+		t.Errorf("MTTRSec %v, want > 0", sum.MTTRSec)
+	}
+	if sum.JobsInterrupted == 0 || sum.JobsRetried == 0 {
+		t.Errorf("expected interrupted work: interrupted=%d retried=%d",
+			sum.JobsInterrupted, sum.JobsRetried)
+	}
+	if sum.JobsLost != 0 {
+		t.Errorf("immediate retry lost %d jobs", sum.JobsLost)
+	}
+	if !(sum.LostWorkSec > 0) {
+		t.Errorf("LostWorkSec %v, want > 0 (evicted jobs had started)", sum.LostWorkSec)
+	}
+}
+
+// TestFaultReproducibleAcrossRuns is the robustness acceptance test: with
+// failure clocks armed, two runs at the same shard count P are bitwise
+// identical for every P — the failure schedule is a pure function of
+// (seed, serverID), never of goroutine interleaving.
+func TestFaultReproducibleAcrossRuns(t *testing.T) {
+	cfg := faultCfg(8)
+	cfg.Retry = hierdrl.RetryBackoff
+	tr := hierdrl.SyntheticTraceForCluster(2000, 8, 1)
+
+	for _, p := range []int{1, 2, 4, 8} {
+		var ref [14]uint64
+		for run := 0; run < 2; run++ {
+			res, err := hierdrl.RunWith(cfg, tr, hierdrl.WithShards(p))
+			if err != nil {
+				t.Fatalf("P=%d run %d: %v", p, run, err)
+			}
+			bits := faultBits(res.Summary)
+			if run == 0 {
+				ref = bits
+				if res.Summary.Failures == 0 {
+					t.Fatalf("P=%d: no failures injected; test is vacuous", p)
+				}
+				continue
+			}
+			if bits != ref {
+				t.Errorf("P=%d: runs differ bitwise:\n  run0 %v\n  run1 %v", p, ref, bits)
+			}
+		}
+	}
+}
+
+// alwaysDrop is a registry-registered retry policy that refuses every
+// requeue, so each interruption becomes a lost job.
+type alwaysDrop struct{}
+
+func (alwaysDrop) Name() string { return "always-drop" }
+func (alwaysDrop) Retry(now float64, j hierdrl.Job, attempt int) (float64, bool) {
+	return 0, false
+}
+
+// TestRegisteredRetryPolicy drives the crash path through an externally
+// registered policy and checks the loss accounting closes: every ingested
+// job either completes or is counted lost, and nothing retries.
+func TestRegisteredRetryPolicy(t *testing.T) {
+	hierdrl.RegisterRetryPolicy("always-drop", func(cfg *hierdrl.Config) (hierdrl.RetryPolicy, error) {
+		return alwaysDrop{}, nil
+	})
+	cfg := faultCfg(6)
+	cfg.Retry = "always-drop"
+	tr := hierdrl.SyntheticTraceForCluster(3000, 6, 1)
+
+	for _, p := range []int{1, 4} {
+		s, err := hierdrl.NewSession(cfg, hierdrl.WithShards(p))
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if err := s.SubmitTrace(tr); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		res, err := s.Result()
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		sum := res.Summary
+		if sum.JobsLost == 0 {
+			t.Errorf("P=%d: no jobs lost under always-drop with %d failures", p, sum.Failures)
+		}
+		if sum.JobsLost != sum.JobsInterrupted {
+			t.Errorf("P=%d: lost %d != interrupted %d", p, sum.JobsLost, sum.JobsInterrupted)
+		}
+		if sum.JobsRetried != 0 {
+			t.Errorf("P=%d: retried %d under always-drop", p, sum.JobsRetried)
+		}
+		if got := s.Completed() + sum.JobsLost; got != s.Ingested() {
+			t.Errorf("P=%d: completed %d + lost %d != ingested %d",
+				p, s.Completed(), sum.JobsLost, s.Ingested())
+		}
+		s.Close()
+	}
+}

@@ -118,6 +118,35 @@ const (
 	PredictorWindowMean PredictorKind = "window-mean"
 )
 
+// FaultKind selects the failure/repair model.
+type FaultKind string
+
+// Fault models.
+const (
+	// FaultNone disables fault injection (the default).
+	FaultNone FaultKind = "none"
+	// FaultExpCrash gives every server an independent exponential
+	// crash/repair process parameterized by MTTFSec/MTTRSec, derived from
+	// (Seed, serverID) so the schedule is identical at every shard count.
+	FaultExpCrash FaultKind = "exp-crash"
+)
+
+// RetryKind selects what happens to jobs evicted by a server crash.
+type RetryKind string
+
+// Retry policies.
+const (
+	// RetryImmediate requeues every evicted job at the crash instant.
+	RetryImmediate RetryKind = "immediate"
+	// RetryBackoff requeues with capped exponential delay
+	// (RetryBackoffSec doubling up to RetryBackoffCapSec), dropping after
+	// RetryMax attempts when RetryMax > 0.
+	RetryBackoff RetryKind = "backoff"
+	// RetryDropAfter requeues immediately up to RetryMax attempts, then
+	// drops the job.
+	RetryDropAfter RetryKind = "drop-after"
+)
+
 // Config describes one end-to-end experiment.
 type Config struct {
 	// Name labels the run in reports.
@@ -156,6 +185,28 @@ type Config struct {
 	Predictor PredictorKind
 	// LSTMPredictor configures the LSTM predictor.
 	LSTMPredictor lstm.PredictorConfig
+
+	// Faults selects the failure/repair model (default FaultNone). With
+	// FaultExpCrash every server crashes and repairs on an independent
+	// exponential process; running and queued jobs are evicted into the
+	// session's pending queue through the Retry policy, and allocation
+	// degrades gracefully around the dead servers.
+	Faults FaultKind
+	// MTTFSec/MTTRSec parameterize FaultExpCrash (mean time to failure /
+	// repair, seconds; both must be positive).
+	MTTFSec float64
+	MTTRSec float64
+	// Retry selects the requeue policy for crash-evicted jobs (default
+	// RetryImmediate; only consulted when Faults is active).
+	Retry RetryKind
+	// RetryBackoffSec/RetryBackoffCapSec parameterize RetryBackoff (defaults
+	// 30s base doubling to a 600s cap).
+	RetryBackoffSec    float64
+	RetryBackoffCapSec float64
+	// RetryMax bounds retry attempts for RetryBackoff (0 = unbounded) and
+	// RetryDropAfter (required > 0); beyond it the job is dropped and
+	// counted in Summary.JobsLost.
+	RetryMax int
 
 	// CheckpointEvery records a Fig. 8/9 series point after this many job
 	// completions (0 disables).

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"hierdrl/internal/fault"
 	"hierdrl/internal/sim"
 )
 
@@ -67,6 +68,13 @@ type shardGroup struct {
 	jobs jobsMultiset
 
 	completed int64
+	submitted int64
+
+	// Fault-layer bookkeeping, written only by the shard's own lane (crash
+	// and repair events run on it): down counts currently-crashed local
+	// servers, fails counts local crashes.
+	down  int
+	fails int64
 
 	// idx, when enabled, maintains the least-committed-server tournament
 	// tree over this shard (see LoadIndex).
@@ -76,9 +84,10 @@ type shardGroup struct {
 	// parallel phase, so appends are single-writer; the coordinator drains
 	// them at the epoch barrier (the barrier's synchronization orders the
 	// accesses).
-	changes []ChangeRec
-	dones   []DoneRec
-	trans   []TransRec
+	changes    []ChangeRec
+	dones      []DoneRec
+	trans      []TransRec
+	interrupts []InterruptRec
 }
 
 // Cluster aggregates M servers across one or more shard groups, maintains
@@ -110,8 +119,13 @@ type Cluster struct {
 	// transitions are rare relative to job events so the forwarding branch
 	// costs nothing on the hot path.
 	OnTransition func(t sim.Time, server int, from, to PowerState)
+	// OnInterrupt fires for every job a crash evicts (strict tier; async
+	// mode logs InterruptRecs instead, replayed at the epoch barrier through
+	// DrainInterrupts in merged time order).
+	OnInterrupt func(t sim.Time, j *Job)
 
-	submitted int64
+	// faults records that EnableFaults installed failure clocks.
+	faults bool
 
 	// drainCur is the reusable per-shard cursor scratch of the barrier-time
 	// log merges (see shard.go).
@@ -249,8 +263,137 @@ func (c *Cluster) Submit(j *Job, server int) {
 	if server < 0 || server >= len(c.servers) {
 		panic(fmt.Sprintf("cluster: Submit to invalid server %d of %d", server, len(c.servers)))
 	}
-	c.submitted++
+	// The counter is shard-local: Submit runs on the target server's lane,
+	// and one barrier phase may commit dispatches on several lanes at once.
+	c.shards[c.shardOf[server]].submitted++
 	c.servers[server].Submit(j)
+}
+
+// EnableFaults installs per-server failure/repair clocks and schedules each
+// server's first crash. clockFor is invoked in ascending server order; a nil
+// clock exempts that server. Call once, before any event fires.
+func (c *Cluster) EnableFaults(clockFor func(serverID int) fault.Clock) {
+	c.faults = true
+	for i, s := range c.servers {
+		s.SetFaultClock(clockFor(i), c.jobInterrupted, c.serverFault)
+	}
+}
+
+// FaultsEnabled reports whether EnableFaults has been called.
+func (c *Cluster) FaultsEnabled() bool { return c.faults }
+
+// serverFault maintains the shard-local down/failure counters. It runs on
+// the crashing server's own lane (single-writer), before the eviction
+// cascade.
+func (c *Cluster) serverFault(t sim.Time, s *Server, down bool) {
+	g := &c.shards[c.shardOf[s.ID()]]
+	if down {
+		g.down++
+		g.fails++
+	} else {
+		g.down--
+	}
+}
+
+// jobInterrupted forwards one crash-evicted job: synchronously through
+// OnInterrupt in the strict tier, via the shard's interrupt log in async
+// mode (logging is unconditional there — requeue handling is mandatory
+// whenever faults are enabled).
+func (c *Cluster) jobInterrupted(t sim.Time, j *Job) {
+	if c.async {
+		g := &c.shards[c.shardOf[j.Server]]
+		g.interrupts = append(g.interrupts, InterruptRec{At: t, J: j})
+		return
+	}
+	if c.OnInterrupt != nil {
+		c.OnInterrupt(t, j)
+	}
+}
+
+// DownServers returns how many servers are currently crashed (parallel
+// tier: barrier-time only, like every aggregate).
+func (c *Cluster) DownServers() int {
+	n := c.shards[0].down
+	for i := 1; i < len(c.shards); i++ {
+		n += c.shards[i].down
+	}
+	return n
+}
+
+// Failures returns the total crash count so far.
+func (c *Cluster) Failures() int64 {
+	n := c.shards[0].fails
+	for i := 1; i < len(c.shards); i++ {
+		n += c.shards[i].fails
+	}
+	return n
+}
+
+// Repairs returns the total completed-repair count so far.
+func (c *Cluster) Repairs() int64 {
+	var n int64
+	for _, s := range c.servers {
+		n += s.Repairs()
+	}
+	return n
+}
+
+// Down reports whether server i is currently crashed.
+func (c *Cluster) Down(i int) bool { return c.servers[i].Down() }
+
+// NextUp returns the first non-down server scanning cyclically upward from
+// `from` — the graceful-degradation remap applied when an allocator's pick
+// is dead. Returns from itself when it is up, -1 when every server is down.
+func (c *Cluster) NextUp(from int) int {
+	m := len(c.servers)
+	for k := 0; k < m; k++ {
+		i := from + k
+		if i >= m {
+			i -= m
+		}
+		if !c.servers[i].Down() {
+			return i
+		}
+	}
+	return -1
+}
+
+// NextRepairAt returns the earliest scheduled repair instant among down
+// servers. Call only while at least one server is down.
+func (c *Cluster) NextRepairAt() sim.Time {
+	best := sim.Time(math.MaxFloat64)
+	found := false
+	for _, s := range c.servers {
+		if s.Down() {
+			if at := s.RepairAt(); !found || at < best {
+				best, found = at, true
+			}
+		}
+	}
+	if !found {
+		panic("cluster: NextRepairAt with no server down")
+	}
+	return best
+}
+
+// DownSeconds integrates every server's downtime through t (the
+// availability integral's numerator).
+func (c *Cluster) DownSeconds(t sim.Time) float64 {
+	var d float64
+	for _, s := range c.servers {
+		d += s.DownSeconds(t)
+	}
+	return d
+}
+
+// RepairedDownSeconds sums completed down intervals across servers (the
+// MTTR numerator).
+func (c *Cluster) RepairedDownSeconds() float64 {
+	var d float64
+	for _, s := range c.servers {
+		d += s.RepairedDownSeconds()
+	}
+	return d
 }
 
 func (c *Cluster) serverUpdated(t sim.Time, s *Server) {
@@ -391,7 +534,13 @@ func (c *Cluster) JobsInSystem() int {
 }
 
 // Submitted returns the number of jobs dispatched so far.
-func (c *Cluster) Submitted() int64 { return c.submitted }
+func (c *Cluster) Submitted() int64 {
+	n := c.shards[0].submitted
+	for i := 1; i < len(c.shards); i++ {
+		n += c.shards[i].submitted
+	}
+	return n
+}
 
 // Completed returns the number of jobs finished so far.
 func (c *Cluster) Completed() int64 {
@@ -548,6 +697,16 @@ func (c *Cluster) InvariantCheck() {
 	if inc, ref := c.ReliabilityObj(), c.reliabilityRecompute(); inc != ref {
 		panic(fmt.Sprintf("cluster: reliability drift: incremental %v recomputed %v",
 			inc, ref))
+	}
+	down := 0
+	for _, s := range c.servers {
+		if s.Down() {
+			down++
+		}
+	}
+	if down != c.DownServers() {
+		panic(fmt.Sprintf("cluster: down-server drift: incremental %d recomputed %d",
+			c.DownServers(), down))
 	}
 	for s := range c.shards {
 		if idx := c.shards[s].idx; idx != nil {

@@ -35,6 +35,11 @@ type Job struct {
 	// the completion event carries the job as its payload and dispatches
 	// through this back-pointer.
 	srv *Server
+	// done is the pending completion timer, retained so a server crash can
+	// cancel it; runIdx is the job's slot in the server's crash interrupt
+	// list (maintained only under fault injection). Both are reset by Renew.
+	done   sim.Timer
+	runIdx int32
 }
 
 // NewJob builds a cluster job from a trace record.

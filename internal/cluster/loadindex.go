@@ -16,6 +16,12 @@ import (
 // Tie-breaking prefers the lower index (left child on equality), which is
 // exactly the order the sequential scan's strict `<` comparison produces —
 // so the indexed argmin is bitwise-faithful to policy.LeastLoaded.
+//
+// Fault injection composes with the tree for free: a down server reports
+// CommittedLoad = +Inf (see Server.CommittedLoad), the same value the
+// [n, size) padding leaves carry, so crashed servers lose every tournament
+// without any index-side special case — graceful degradation falls out of
+// the existing comparison rule.
 type LoadIndex struct {
 	n     int
 	size  int       // leaf capacity: smallest power of two >= n

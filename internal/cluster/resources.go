@@ -82,3 +82,11 @@ func FromTraceReq(req [trace.NumResources]float64) Resources {
 	copy(r[:], req[:])
 	return r
 }
+
+// ToTraceReq is FromTraceReq's inverse, used when an interrupted job is
+// converted back into a trace record for requeueing.
+func (r Resources) ToTraceReq() [trace.NumResources]float64 {
+	var req [trace.NumResources]float64
+	copy(req[:], r[:])
+	return req
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hierdrl/internal/fault"
 	"hierdrl/internal/sim"
 	"hierdrl/internal/trace"
 )
@@ -18,6 +19,9 @@ const (
 	StateWaking
 	StateActive
 	StateShuttingDown
+	// StateDown is a crashed server (fault injection): zero power draw, no
+	// jobs, rejected by every allocator view until its repair completes.
+	StateDown
 )
 
 // String implements fmt.Stringer.
@@ -31,6 +35,8 @@ func (s PowerState) String() string {
 		return "active"
 	case StateShuttingDown:
 		return "shutting-down"
+	case StateDown:
+		return "down"
 	default:
 		return fmt.Sprintf("PowerState(%d)", int(s))
 	}
@@ -120,6 +126,31 @@ type Server struct {
 	running int
 
 	timeout sim.Timer
+	// trans tracks the in-flight wake/shutdown completion event so a crash
+	// can cancel it; the fault-free path stores and clears it but never
+	// cancels (pure value writes, no behavior change).
+	trans sim.Timer
+
+	// Fault layer (all zero when no failure clock is attached).
+	fclock fault.Clock
+	// flt is the pending crash timer while up, the pending repair timer
+	// while down — exactly one of the two exists at all times once a clock
+	// is attached, which is why the event queue never drains on a faulty
+	// run.
+	flt sim.Timer
+	// runJobs tracks executing jobs in start order so a crash can interrupt
+	// them deterministically; maintained only when fclock != nil.
+	runJobs []*Job
+	fails   int64
+	repairs int64
+	downAt  sim.Time
+	downSec float64
+	// onInterrupt receives every job a crash evicts (running first in start
+	// order, then the FCFS queue front to back).
+	onInterrupt func(t sim.Time, j *Job)
+	// onFault reports up/down flips (down=true on crash) for the cluster's
+	// shard-local failure bookkeeping, before the eviction cascade.
+	onFault func(t sim.Time, s *Server, down bool)
 
 	// Energy accounting.
 	lastT     sim.Time
@@ -218,8 +249,13 @@ func (s *Server) CommittedUtilization() Resources {
 // CommittedLoad returns the binding-dimension committed load — exactly the
 // expression policy.LeastLoaded evaluates from a snapshot
 // (Utilization().Add(PendingDemand()).MaxFrac()), so the incremental
-// LoadIndex stays bitwise-faithful to the sequential scan.
+// LoadIndex stays bitwise-faithful to the sequential scan. A down server
+// reports +Inf, which masks it out of every least-committed tournament (the
+// LoadIndex tree handles +Inf natively — its padding leaves already use it).
 func (s *Server) CommittedLoad() float64 {
+	if s.state == StateDown {
+		return math.Inf(1)
+	}
 	return s.Utilization().Add(s.pending).MaxFrac()
 }
 
@@ -295,6 +331,8 @@ func (s *Server) currentPower() float64 {
 		return s.cfg.Power.Transition()
 	case StateActive:
 		return s.cfg.Power.Active(s.CPUUtil())
+	case StateDown:
+		return 0
 	default:
 		panic(fmt.Sprintf("cluster: server %d in invalid state %v", s.id, s.state))
 	}
@@ -320,6 +358,10 @@ func (s *Server) Submit(j *Job) {
 	if !j.Req.FitsIn(s.cfg.Capacity) {
 		panic(fmt.Sprintf("cluster: job %d demand %v exceeds server %d capacity %v",
 			j.ID, j.Req, s.id, s.cfg.Capacity))
+	}
+	if s.state == StateDown {
+		panic(fmt.Sprintf("cluster: job %d submitted to down server %d (callers must remap through NextUp)",
+			j.ID, s.id))
 	}
 	now := s.sm.Now()
 	stateBefore := s.state
@@ -353,14 +395,17 @@ func serverWakeComplete(a any)     { a.(*Server).onWakeComplete() }
 func serverShutdownComplete(a any) { a.(*Server).onShutdownComplete() }
 func serverTimeoutExpire(a any)    { a.(*Server).onTimeoutExpire() }
 func jobComplete(a any)            { j := a.(*Job); j.srv.onJobComplete(j) }
+func serverCrash(a any)            { a.(*Server).onCrash() }
+func serverRepair(a any)           { a.(*Server).onRepair() }
 
 func (s *Server) beginWake() {
 	s.setState(StateWaking)
 	s.wakeups++
-	s.sm.ScheduleAfterArg(s.cfg.TonSeconds, serverWakeComplete, s)
+	s.trans = s.sm.ScheduleAfterArg(s.cfg.TonSeconds, serverWakeComplete, s)
 }
 
 func (s *Server) onWakeComplete() {
+	s.trans = sim.Timer{}
 	if s.state != StateWaking {
 		panic(fmt.Sprintf("cluster: server %d wake completion in state %v", s.id, s.state))
 	}
@@ -391,12 +436,26 @@ func (s *Server) tryStart() {
 		head.Started = now
 		head.started = true
 		head.srv = s
-		s.sm.ScheduleAfterArg(head.Duration, jobComplete, head)
+		head.done = s.sm.ScheduleAfterArg(head.Duration, jobComplete, head)
+		if s.fclock != nil {
+			head.runIdx = int32(len(s.runJobs))
+			s.runJobs = append(s.runJobs, head)
+		}
 	}
 }
 
 func (s *Server) onJobComplete(j *Job) {
 	now := s.sm.Now()
+	j.done = sim.Timer{}
+	if s.fclock != nil {
+		// Swap-remove from the crash interrupt list.
+		last := len(s.runJobs) - 1
+		moved := s.runJobs[last]
+		s.runJobs[j.runIdx] = moved
+		moved.runIdx = j.runIdx
+		s.runJobs[last] = nil
+		s.runJobs = s.runJobs[:last]
+	}
 	s.used = s.used.Sub(j.Req)
 	if !s.used.NonNegative() {
 		panic(fmt.Sprintf("cluster: server %d negative utilization after job %d", s.id, j.ID))
@@ -445,10 +504,11 @@ func (s *Server) onTimeoutExpire() {
 func (s *Server) beginShutdown() {
 	s.setState(StateShuttingDown)
 	s.shutdowns++
-	s.sm.ScheduleAfterArg(s.cfg.ToffSeconds, serverShutdownComplete, s)
+	s.trans = s.sm.ScheduleAfterArg(s.cfg.ToffSeconds, serverShutdownComplete, s)
 }
 
 func (s *Server) onShutdownComplete() {
+	s.trans = sim.Timer{}
 	if s.state != StateShuttingDown {
 		panic(fmt.Sprintf("cluster: server %d shutdown completion in state %v", s.id, s.state))
 	}
@@ -460,3 +520,100 @@ func (s *Server) onShutdownComplete() {
 		s.sync()
 	}
 }
+
+// SetFaultClock attaches a deterministic failure/repair clock and schedules
+// the server's first crash. A nil clock exempts the server. onInterrupt
+// receives every job a crash evicts; onFault reports up/down flips. Call
+// once, before any event fires.
+func (s *Server) SetFaultClock(c fault.Clock, onInterrupt func(sim.Time, *Job), onFault func(sim.Time, *Server, bool)) {
+	if c == nil {
+		return
+	}
+	s.fclock = c
+	s.onInterrupt = onInterrupt
+	s.onFault = onFault
+	s.flt = s.sm.ScheduleAfterArg(c.NextFailure(), serverCrash, s)
+}
+
+// onCrash is the crash event. The eviction order is part of the determinism
+// contract: state flips to StateDown first (so the transition observer sees
+// the failure before any job callback), then running jobs are interrupted in
+// start order, then the FCFS queue front to back. Energy integrates at the
+// pre-crash power before the draw drops to zero.
+func (s *Server) onCrash() {
+	s.flt = sim.Timer{}
+	now := s.sm.Now()
+	if s.timeout.Cancel() {
+		s.timeout = sim.Timer{}
+	}
+	if s.trans.Cancel() {
+		s.trans = sim.Timer{}
+	}
+	s.setState(StateDown)
+	s.fails++
+	s.downAt = now
+	if s.onFault != nil {
+		s.onFault(now, s, true)
+	}
+	for i, j := range s.runJobs {
+		j.done.Cancel()
+		j.done = sim.Timer{}
+		j.srv = nil
+		s.runJobs[i] = nil
+		s.onInterrupt(now, j)
+	}
+	s.runJobs = s.runJobs[:0]
+	s.running = 0
+	s.used = Resources{}
+	for s.qhead < len(s.queue) {
+		s.onInterrupt(now, s.queuePop())
+	}
+	s.pending = Resources{}
+	s.sync()
+	s.flt = s.sm.ScheduleAfterArg(s.fclock.NextRepair(), serverRepair, s)
+}
+
+// onRepair is the repair event: the server rejoins cold (StateSleep, empty
+// queue) and its next crash is drawn immediately from its own chain.
+func (s *Server) onRepair() {
+	s.flt = sim.Timer{}
+	now := s.sm.Now()
+	if s.state != StateDown {
+		panic(fmt.Sprintf("cluster: server %d repair in state %v", s.id, s.state))
+	}
+	s.repairs++
+	s.downSec += float64(now - s.downAt)
+	s.setState(StateSleep)
+	if s.onFault != nil {
+		s.onFault(now, s, false)
+	}
+	s.sync()
+	s.flt = s.sm.ScheduleAfterArg(s.fclock.NextFailure(), serverCrash, s)
+}
+
+// Down reports whether the server is currently crashed.
+func (s *Server) Down() bool { return s.state == StateDown }
+
+// Failures returns how many crashes have occurred.
+func (s *Server) Failures() int64 { return s.fails }
+
+// Repairs returns how many repairs have completed.
+func (s *Server) Repairs() int64 { return s.repairs }
+
+// DownSeconds returns the total downtime through t, including the still-open
+// interval if the server is down now.
+func (s *Server) DownSeconds(t sim.Time) float64 {
+	d := s.downSec
+	if s.state == StateDown {
+		d += float64(t - s.downAt)
+	}
+	return d
+}
+
+// RepairedDownSeconds returns the downtime of completed down intervals only
+// (the MTTR numerator).
+func (s *Server) RepairedDownSeconds() float64 { return s.downSec }
+
+// RepairAt returns the scheduled repair instant; meaningful only while the
+// server is down (the pending fault timer is then the repair event).
+func (s *Server) RepairAt() sim.Time { return s.flt.At() }

@@ -43,6 +43,12 @@ type TransRec struct {
 	To     PowerState
 }
 
+// InterruptRec is one crash-evicted job awaiting its retry decision.
+type InterruptRec struct {
+	At sim.Time
+	J  *Job
+}
+
 // prepCursor resets the cluster-retained per-shard merge cursor (allocated
 // once), so draining allocates nothing.
 func (c *Cluster) prepCursor() []int {
@@ -56,12 +62,12 @@ func (c *Cluster) prepCursor() []int {
 	return cur
 }
 
-// The three Drain* loops below are intentionally parallel copies of one
+// The four Drain* loops below are intentionally parallel copies of one
 // k-way merge: a generic driver would either box the per-record emit into a
 // per-barrier closure (breaking the zero-alloc epoch) or hide the ordering
 // rule behind adapters. The rule they must share — pop the earliest head,
 // ties to the lowest shard index, per-shard FIFO — is the reproducibility
-// contract; change it in all three together (TestDrainOrderMerged covers
+// contract; change it in all four together (TestDrainOrderMerged covers
 // each stream).
 
 // DrainChanges replays every logged ChangeRec in merged (time, shard) order
@@ -148,12 +154,43 @@ func (c *Cluster) DrainTrans(fn func(t sim.Time, server int, from, to PowerState
 	}
 }
 
+// DrainInterrupts replays every logged crash eviction in merged
+// (time, shard) order, then resets the logs (keeping capacity). The session
+// routes each job through its RetryPolicy here, so requeue decisions happen
+// at the barrier in a deterministic order.
+func (c *Cluster) DrainInterrupts(fn func(t sim.Time, j *Job)) {
+	cur := c.prepCursor()
+	for {
+		best := -1
+		var bestAt sim.Time
+		for s := range c.shards {
+			log := c.shards[s].interrupts
+			if cur[s] >= len(log) {
+				continue
+			}
+			if at := log[cur[s]].At; best < 0 || at < bestAt {
+				best, bestAt = s, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := &c.shards[best].interrupts[cur[best]]
+		fn(rec.At, rec.J)
+		rec.J = nil // drop the reference so the log slab never pins a pooled job
+		cur[best]++
+	}
+	for s := range c.shards {
+		c.shards[s].interrupts = c.shards[s].interrupts[:0]
+	}
+}
+
 // PendingLogs reports whether any shard has undrained log entries (test and
 // invariant surface).
 func (c *Cluster) PendingLogs() bool {
 	for s := range c.shards {
 		g := &c.shards[s]
-		if len(g.changes) > 0 || len(g.dones) > 0 || len(g.trans) > 0 {
+		if len(g.changes) > 0 || len(g.dones) > 0 || len(g.trans) > 0 || len(g.interrupts) > 0 {
 			return true
 		}
 	}

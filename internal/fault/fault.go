@@ -1,0 +1,171 @@
+// Package fault implements the deterministic failure/repair subsystem:
+// per-server exponential crash and repair clocks plus the retry policies
+// that decide what happens to jobs a crash interrupts.
+//
+// Determinism contract: each server's clock is an independent RNG chain
+// seeded from (run seed, server ID) only, and it is advanced exclusively by
+// that server's own crash/repair events. No draw ever crosses servers and
+// nothing else consumes from these chains, so the full failure schedule of
+// every server is a pure function of (seed, serverID, mttf, mttr) —
+// independent of shard count, event interleaving, and workload. That is what
+// keeps fault-enabled runs bitwise run-to-run reproducible at any P.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"hierdrl/internal/mat"
+	"hierdrl/internal/trace"
+)
+
+// Clock draws one server's crash/repair delays, in seconds. Implementations
+// must be deterministic given their construction inputs: the engine calls
+// NextFailure when the server (re)joins the cluster and NextRepair when it
+// crashes, strictly alternating, and replays the same call sequence on every
+// run.
+type Clock interface {
+	// NextFailure returns the delay until the server's next crash, measured
+	// from the instant it (re)joined. The crash clock runs in wall-clock
+	// time regardless of power state — a server can crash while asleep.
+	NextFailure() float64
+	// NextRepair returns the delay until a crashed server rejoins (cold).
+	NextRepair() float64
+}
+
+// Model supplies the per-server failure clocks for one run.
+type Model interface {
+	Name() string
+	// ClockFor returns server serverID's clock, or nil if that server never
+	// fails. It is invoked once per server in ascending ID order at session
+	// construction.
+	ClockFor(serverID int) Clock
+}
+
+// RetryPolicy decides an interrupted job's fate. Retry is consulted on the
+// attempt-th interruption of job j (attempt counts from 1 across the job's
+// lifetime, surviving multiple crashes): it returns the requeue delay in
+// seconds and whether to retry at all — false drops the job as lost.
+type RetryPolicy interface {
+	Name() string
+	Retry(now float64, j trace.Job, attempt int) (delaySec float64, retry bool)
+}
+
+// chainSeed mixes the run seed and a server ID into one well-separated
+// 63-bit seed (splitmix64-style finalizer). Adjacent server IDs — and
+// adjacent run seeds — land in unrelated regions of the generator's state
+// space, so per-server chains are statistically independent.
+func chainSeed(seed int64, serverID int) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(serverID+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x >> 1)
+}
+
+// ExpCrash is the built-in "exp-crash" model: i.i.d. exponential time to
+// failure and time to repair, the textbook Markovian machine-repair model.
+type ExpCrash struct {
+	seed       int64
+	mttf, mttr float64
+}
+
+// NewExpCrash builds an exponential crash/repair model with the given mean
+// time to failure and mean time to repair (both in seconds).
+func NewExpCrash(seed int64, mttfSec, mttrSec float64) (*ExpCrash, error) {
+	if !(mttfSec > 0) || math.IsInf(mttfSec, 1) {
+		return nil, fmt.Errorf("fault: MTTF %v must be positive and finite", mttfSec)
+	}
+	if !(mttrSec > 0) || math.IsInf(mttrSec, 1) {
+		return nil, fmt.Errorf("fault: MTTR %v must be positive and finite", mttrSec)
+	}
+	return &ExpCrash{seed: seed, mttf: mttfSec, mttr: mttrSec}, nil
+}
+
+// Name implements Model.
+func (m *ExpCrash) Name() string { return "exp-crash" }
+
+// ClockFor implements Model: every server gets its own chain seeded from
+// (run seed, serverID).
+func (m *ExpCrash) ClockFor(serverID int) Clock {
+	return &expClock{
+		rng:      mat.NewRNG(chainSeed(m.seed, serverID)),
+		failRate: 1 / m.mttf,
+		repRate:  1 / m.mttr,
+	}
+}
+
+type expClock struct {
+	rng      *mat.RNG
+	failRate float64
+	repRate  float64
+}
+
+func (c *expClock) NextFailure() float64 { return c.rng.Exponential(c.failRate) }
+func (c *expClock) NextRepair() float64  { return c.rng.Exponential(c.repRate) }
+
+// Immediate is the built-in "immediate" retry policy: every interrupted job
+// requeues at the crash instant with no delay and no attempt cap.
+type Immediate struct{}
+
+// Name implements RetryPolicy.
+func (Immediate) Name() string { return "immediate" }
+
+// Retry implements RetryPolicy.
+func (Immediate) Retry(now float64, j trace.Job, attempt int) (float64, bool) {
+	return 0, true
+}
+
+// Backoff is the built-in "backoff" retry policy: capped exponential
+// backoff. Attempt k waits min(BaseSec * 2^(k-1), CapSec); when Max > 0 a
+// job is dropped after Max interruptions.
+type Backoff struct {
+	BaseSec float64
+	CapSec  float64
+	Max     int // 0 = unlimited attempts
+}
+
+// NewBackoff validates and builds a capped exponential backoff policy.
+func NewBackoff(baseSec, capSec float64, max int) (Backoff, error) {
+	if !(baseSec > 0) || math.IsInf(baseSec, 1) {
+		return Backoff{}, fmt.Errorf("fault: backoff base %v must be positive and finite", baseSec)
+	}
+	if !(capSec >= baseSec) || math.IsInf(capSec, 1) {
+		return Backoff{}, fmt.Errorf("fault: backoff cap %v must be finite and >= base %v", capSec, baseSec)
+	}
+	if max < 0 {
+		return Backoff{}, fmt.Errorf("fault: backoff max %d must be non-negative", max)
+	}
+	return Backoff{BaseSec: baseSec, CapSec: capSec, Max: max}, nil
+}
+
+// Name implements RetryPolicy.
+func (Backoff) Name() string { return "backoff" }
+
+// Retry implements RetryPolicy.
+func (b Backoff) Retry(now float64, j trace.Job, attempt int) (float64, bool) {
+	if b.Max > 0 && attempt > b.Max {
+		return 0, false
+	}
+	d := math.Ldexp(b.BaseSec, attempt-1) // base * 2^(attempt-1); Inf-safe
+	if d > b.CapSec {
+		d = b.CapSec
+	}
+	return d, true
+}
+
+// DropAfter is the built-in "drop-after" retry policy: up to Max immediate
+// requeues, then the job is counted lost.
+type DropAfter struct {
+	Max int
+}
+
+// Name implements RetryPolicy.
+func (DropAfter) Name() string { return "drop-after" }
+
+// Retry implements RetryPolicy.
+func (d DropAfter) Retry(now float64, j trace.Job, attempt int) (float64, bool) {
+	return 0, attempt <= d.Max
+}

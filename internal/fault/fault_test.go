@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"hierdrl/internal/trace"
+)
+
+// TestExpCrashChainsDeterministicAndDisjoint pins the determinism contract:
+// a server's schedule is a pure function of (seed, serverID, mttf, mttr),
+// and distinct servers (or distinct run seeds) draw from unrelated chains.
+func TestExpCrashChainsDeterministicAndDisjoint(t *testing.T) {
+	m1, err := NewExpCrash(42, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewExpCrash(42, 1000, 100)
+	m3, _ := NewExpCrash(43, 1000, 100)
+
+	draw := func(c Clock) [6]uint64 {
+		var out [6]uint64
+		for i := 0; i < 3; i++ {
+			out[2*i] = math.Float64bits(c.NextFailure())
+			out[2*i+1] = math.Float64bits(c.NextRepair())
+		}
+		return out
+	}
+
+	for id := 0; id < 8; id++ {
+		a, b := draw(m1.ClockFor(id)), draw(m2.ClockFor(id))
+		if a != b {
+			t.Fatalf("server %d: same (seed, id) produced different schedules: %v vs %v", id, a, b)
+		}
+		if draw(m1.ClockFor(id)) == draw(m1.ClockFor(id+1)) {
+			t.Fatalf("servers %d and %d share a chain", id, id+1)
+		}
+		if a == draw(m3.ClockFor(id)) {
+			t.Fatalf("server %d: seeds 42 and 43 share a chain", id)
+		}
+	}
+
+	// Draws must be valid exponential variates: positive and finite.
+	c := m1.ClockFor(0)
+	for i := 0; i < 1000; i++ {
+		if f := c.NextFailure(); !(f > 0) || math.IsInf(f, 1) {
+			t.Fatalf("NextFailure draw %d = %v", i, f)
+		}
+		if r := c.NextRepair(); !(r > 0) || math.IsInf(r, 1) {
+			t.Fatalf("NextRepair draw %d = %v", i, r)
+		}
+	}
+}
+
+func TestNewExpCrashValidation(t *testing.T) {
+	bad := [][2]float64{
+		{0, 100}, {-1, 100}, {math.Inf(1), 100}, {math.NaN(), 100},
+		{1000, 0}, {1000, -1}, {1000, math.Inf(1)}, {1000, math.NaN()},
+	}
+	for _, p := range bad {
+		if _, err := NewExpCrash(1, p[0], p[1]); err == nil {
+			t.Errorf("NewExpCrash(1, %v, %v): want error, got nil", p[0], p[1])
+		}
+	}
+	if _, err := NewExpCrash(1, 1000, 100); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b, err := NewBackoff(30, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j trace.Job
+	want := []float64{30, 60, 120, 240, 480, 600, 600} // doubles then caps
+	for i, w := range want {
+		d, ok := b.Retry(0, j, i+1)
+		if !ok || d != w {
+			t.Fatalf("attempt %d: got (%v, %v), want (%v, true)", i+1, d, ok, w)
+		}
+	}
+
+	capped, _ := NewBackoff(10, 40, 3)
+	if d, ok := capped.Retry(0, j, 3); !ok || d != 40 {
+		t.Fatalf("attempt 3: got (%v, %v), want (40, true)", d, ok)
+	}
+	if _, ok := capped.Retry(0, j, 4); ok {
+		t.Fatal("attempt 4 with Max=3: want drop")
+	}
+
+	// A huge attempt count must not overflow into Inf or a negative delay.
+	if d, ok := b.Retry(0, j, 10000); !ok || d != 600 {
+		t.Fatalf("attempt 10000: got (%v, %v), want (600, true)", d, ok)
+	}
+}
+
+func TestNewBackoffValidation(t *testing.T) {
+	cases := []struct {
+		base, cap float64
+		max       int
+	}{
+		{0, 600, 0}, {-1, 600, 0}, {math.Inf(1), 600, 0}, {math.NaN(), 600, 0},
+		{30, 10, 0}, {30, math.Inf(1), 0}, {30, math.NaN(), 0}, {30, 600, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewBackoff(c.base, c.cap, c.max); err == nil {
+			t.Errorf("NewBackoff(%v, %v, %d): want error, got nil", c.base, c.cap, c.max)
+		}
+	}
+}
+
+func TestImmediateAndDropAfter(t *testing.T) {
+	var j trace.Job
+	for attempt := 1; attempt <= 100; attempt++ {
+		if d, ok := (Immediate{}).Retry(0, j, attempt); !ok || d != 0 {
+			t.Fatalf("Immediate attempt %d: got (%v, %v), want (0, true)", attempt, d, ok)
+		}
+	}
+	da := DropAfter{Max: 2}
+	for attempt, want := range map[int]bool{1: true, 2: true, 3: false, 4: false} {
+		if d, ok := da.Retry(0, j, attempt); ok != want || d != 0 {
+			t.Fatalf("DropAfter{2} attempt %d: got (%v, %v), want (0, %v)", attempt, d, ok, want)
+		}
+	}
+}

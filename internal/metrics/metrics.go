@@ -44,6 +44,17 @@ type Summary struct {
 	MeanWaitSec      float64
 	Wakeups          int64
 	Shutdowns        int64
+
+	// Robustness metrics (fault injection). Fault-free runs report
+	// Availability 1 and zeros elsewhere.
+	Availability    float64 // 1 - (server-seconds down / M * duration)
+	MTTRSec         float64 // mean downtime of completed repairs
+	Failures        int64
+	Repairs         int64
+	JobsInterrupted int64 // crash evictions (a job can count more than once)
+	JobsRetried     int64 // evictions the retry policy requeued
+	JobsLost        int64 // jobs dropped by the retry policy
+	LostWorkSec     float64 // executed-then-discarded work integral
 }
 
 // String renders the summary as a single aligned row.
@@ -75,6 +86,13 @@ type Collector struct {
 	// instant, so barrier time is the earliest instant at which a consistent
 	// whole-cluster energy reading exists (DESIGN.md §12).
 	CheckpointClock func() sim.Time
+
+	// Fault tallies, owned by the session's retry path and pushed down via
+	// SetFaultTallies before Summarize.
+	interrupted int64
+	retried     int64
+	lost        int64
+	lostWork    float64
 }
 
 // NewCollector returns a collector that records a checkpoint every
@@ -130,6 +148,16 @@ func (c *Collector) Reserve(n int) {
 	c.waits = w
 }
 
+// SetFaultTallies records the session-level retry accounting (crash
+// evictions, requeues, drops, and the discarded-work integral) so Summarize
+// can surface it.
+func (c *Collector) SetFaultTallies(interrupted, retried, lost int64, lostWorkSec float64) {
+	c.interrupted = interrupted
+	c.retried = retried
+	c.lost = lost
+	c.lostWork = lostWorkSec
+}
+
 // Completed returns the number of completions recorded.
 func (c *Collector) Completed() int { return c.completed }
 
@@ -167,6 +195,25 @@ func (c *Collector) Summarize(policy string, now sim.Time) Summary {
 		s.Wakeups += c.clusterRef.Server(i).Wakeups()
 		s.Shutdowns += c.clusterRef.Server(i).Shutdowns()
 	}
+	var downSec, repairedSec float64
+	for i := 0; i < c.clusterRef.M(); i++ {
+		srv := c.clusterRef.Server(i)
+		s.Failures += srv.Failures()
+		s.Repairs += srv.Repairs()
+		downSec += srv.DownSeconds(now)
+		repairedSec += srv.RepairedDownSeconds()
+	}
+	s.Availability = 1
+	if now > 0 {
+		s.Availability = 1 - downSec/(float64(c.clusterRef.M())*now.Seconds())
+	}
+	if s.Repairs > 0 {
+		s.MTTRSec = repairedSec / float64(s.Repairs)
+	}
+	s.JobsInterrupted = c.interrupted
+	s.JobsRetried = c.retried
+	s.JobsLost = c.lost
+	s.LostWorkSec = c.lostWork
 	return s
 }
 

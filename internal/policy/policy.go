@@ -68,10 +68,16 @@ func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
 // Name implements Allocator.
 func (*LeastLoaded) Name() string { return "least-loaded" }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. Down servers are skipped, which matches
+// the LoadIndex fast path bit for bit: there a down server reports
+// CommittedLoad = +Inf and loses every tournament, so both paths consider
+// the same finite candidates in the same order.
 func (*LeastLoaded) Allocate(_ *cluster.Job, v *cluster.View) int {
 	best, bestLoad := 0, 2.0
 	for i := 0; i < v.M; i++ {
+		if v.State[i] == cluster.StateDown {
+			continue
+		}
 		load := v.Util[i].Add(v.Pending[i]).MaxFrac()
 		if load < bestLoad {
 			best, bestLoad = i, load
@@ -107,7 +113,8 @@ func (p *PackFit) Allocate(j *cluster.Job, v *cluster.View) int {
 	best := -1
 	bestUtil := -1.0
 	for i := 0; i < v.M; i++ {
-		if v.State[i] == cluster.StateSleep || v.State[i] == cluster.StateShuttingDown {
+		if v.State[i] == cluster.StateSleep || v.State[i] == cluster.StateShuttingDown ||
+			v.State[i] == cluster.StateDown {
 			continue
 		}
 		total := v.Util[i].Add(v.Pending[i]).Add(j.Req)
@@ -131,6 +138,9 @@ func (p *PackFit) Allocate(j *cluster.Job, v *cluster.View) int {
 	// Wake the first sleeping/least-burdened server.
 	best, bestLoad := 0, 1e18
 	for i := 0; i < v.M; i++ {
+		if v.State[i] == cluster.StateDown {
+			continue
+		}
 		load := v.Util[i].Add(v.Pending[i]).MaxFrac()
 		if v.State[i] == cluster.StateSleep {
 			load -= 1 // prefer fully sleeping machines for a clean start

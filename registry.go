@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hierdrl/internal/cluster"
+	"hierdrl/internal/fault"
 	"hierdrl/internal/global"
 	"hierdrl/internal/local"
 	"hierdrl/internal/lstm"
@@ -31,6 +32,15 @@ type (
 	// manager (the paper argues for an LSTM; EWMA/last-value/window-mean are
 	// the linear-history baselines).
 	Predictor = local.ArrivalPredictor
+	// FaultModel assigns each server its failure/repair clock. Clocks are
+	// derived from (Config.Seed, serverID) alone — never from the run RNG —
+	// so fault schedules are identical at every shard count.
+	FaultModel = fault.Model
+	// FailureClock is one server's failure/repair process (see FaultModel).
+	FailureClock = fault.Clock
+	// RetryPolicy decides whether (and when) a crash-evicted job re-enters
+	// the pending queue.
+	RetryPolicy = fault.RetryPolicy
 
 	// ClusterJob is the in-flight form of a job inside the simulator, handed
 	// to Allocator.Allocate and the per-job-completion observer. Completed
@@ -58,6 +68,7 @@ const (
 	StateWaking       = cluster.StateWaking
 	StateActive       = cluster.StateActive
 	StateShuttingDown = cluster.StateShuttingDown
+	StateDown         = cluster.StateDown
 )
 
 // AllocatorFactory builds one run's allocator. cfg is the validated run
@@ -71,6 +82,16 @@ type PowerManagerFactory func(cfg *Config, serverID int, rng *RNG) (PowerManager
 
 // PredictorFactory builds one workload predictor for an RL power manager.
 type PredictorFactory func(cfg *Config, rng *RNG) (Predictor, error)
+
+// FaultModelFactory builds one run's fault model. It deliberately receives no
+// RNG: failure clocks must derive all randomness from (cfg.Seed, serverID)
+// so the schedule is a pure function of the configuration, independent of
+// shard count and of every other random stream. Returning a nil FaultModel
+// (with a nil error) disables fault injection.
+type FaultModelFactory func(cfg *Config) (FaultModel, error)
+
+// RetryPolicyFactory builds one run's retry policy.
+type RetryPolicyFactory func(cfg *Config) (RetryPolicy, error)
 
 // Registry entries pair the factory with an optional config check that runs
 // at validation time (NewSession/Run), so bad configurations fail before any
@@ -89,6 +110,14 @@ type (
 	predEntry struct {
 		build PredictorFactory
 	}
+	faultEntry struct {
+		build FaultModelFactory
+		check func(cfg *Config) error
+	}
+	retryEntry struct {
+		build RetryPolicyFactory
+		check func(cfg *Config) error
+	}
 )
 
 var (
@@ -96,6 +125,8 @@ var (
 	allocators = map[AllocPolicy]allocEntry{}
 	powerMgrs  = map[DPMKind]pmEntry{}
 	predictors = map[PredictorKind]predEntry{}
+	faultMdls  = map[FaultKind]faultEntry{}
+	retryPols  = map[RetryKind]retryEntry{}
 )
 
 // RegisterAllocator makes a custom allocation policy resolvable through
@@ -149,6 +180,42 @@ func RegisterPredictor(name PredictorKind, build PredictorFactory) {
 	predictors[name] = predEntry{build: build}
 }
 
+// RegisterFaultModel makes a custom fault model resolvable through
+// Config.Faults. Panics on misuse, like RegisterAllocator.
+func RegisterFaultModel(name FaultKind, build FaultModelFactory) {
+	registerFaultModel(name, build, nil)
+}
+
+func registerFaultModel(name FaultKind, build FaultModelFactory, check func(*Config) error) {
+	if name == "" || build == nil {
+		panic("hierdrl: RegisterFaultModel with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := faultMdls[name]; dup {
+		panic(fmt.Sprintf("hierdrl: fault model %q already registered", name))
+	}
+	faultMdls[name] = faultEntry{build: build, check: check}
+}
+
+// RegisterRetryPolicy makes a custom retry policy resolvable through
+// Config.Retry. Panics on misuse, like RegisterAllocator.
+func RegisterRetryPolicy(name RetryKind, build RetryPolicyFactory) {
+	registerRetryPolicy(name, build, nil)
+}
+
+func registerRetryPolicy(name RetryKind, build RetryPolicyFactory, check func(*Config) error) {
+	if name == "" || build == nil {
+		panic("hierdrl: RegisterRetryPolicy with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := retryPols[name]; dup {
+		panic(fmt.Sprintf("hierdrl: retry policy %q already registered", name))
+	}
+	retryPols[name] = retryEntry{build: build, check: check}
+}
+
 func lookupAllocator(name AllocPolicy) (allocEntry, bool) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
@@ -167,6 +234,20 @@ func lookupPredictor(name PredictorKind) (predEntry, bool) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	e, ok := predictors[name]
+	return e, ok
+}
+
+func lookupFaultModel(name FaultKind) (faultEntry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := faultMdls[name]
+	return e, ok
+}
+
+func lookupRetryPolicy(name RetryKind) (retryEntry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := retryPols[name]
 	return e, ok
 }
 
@@ -193,6 +274,59 @@ func checkDPMConfig(cfg *Config) error {
 		return e.check(cfg)
 	}
 	return nil
+}
+
+// checkFaultConfig validates Config.Faults through the registry.
+func checkFaultConfig(cfg *Config) error {
+	e, ok := lookupFaultModel(cfg.Faults)
+	if !ok {
+		return fmt.Errorf("hierdrl: unknown fault model %q", cfg.Faults)
+	}
+	if e.check != nil {
+		return e.check(cfg)
+	}
+	return nil
+}
+
+// checkRetryConfig validates Config.Retry through the registry.
+func checkRetryConfig(cfg *Config) error {
+	e, ok := lookupRetryPolicy(cfg.Retry)
+	if !ok {
+		return fmt.Errorf("hierdrl: unknown retry policy %q", cfg.Retry)
+	}
+	if e.check != nil {
+		return e.check(cfg)
+	}
+	return nil
+}
+
+// buildFaultLayer resolves the fault model and retry policy for one session.
+// A nil model (FaultNone, or any factory returning nil) disables the whole
+// subsystem; the retry policy is only built alongside a live model.
+func buildFaultLayer(cfg *Config) (FaultModel, RetryPolicy, error) {
+	fe, ok := lookupFaultModel(cfg.Faults)
+	if !ok {
+		return nil, nil, fmt.Errorf("hierdrl: unknown fault model %q", cfg.Faults)
+	}
+	fm, err := fe.build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fm == nil {
+		return nil, nil, nil
+	}
+	re, ok := lookupRetryPolicy(cfg.Retry)
+	if !ok {
+		return nil, nil, fmt.Errorf("hierdrl: unknown retry policy %q", cfg.Retry)
+	}
+	rp, err := re.build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rp == nil {
+		return nil, nil, fmt.Errorf("hierdrl: retry policy %q built nil", cfg.Retry)
+	}
+	return fm, rp, nil
 }
 
 // buildAllocator resolves the global tier for one session. The DRL policy is
@@ -300,5 +434,51 @@ func init() {
 	})
 	RegisterPredictor(PredictorWindowMean, func(*Config, *RNG) (Predictor, error) {
 		return local.NewWindowMean(10), nil
+	})
+
+	registerFaultModel(FaultNone, func(*Config) (FaultModel, error) {
+		return nil, nil
+	}, nil)
+	registerFaultModel(FaultExpCrash, func(cfg *Config) (FaultModel, error) {
+		return fault.NewExpCrash(cfg.Seed, cfg.MTTFSec, cfg.MTTRSec)
+	}, func(cfg *Config) error {
+		if _, err := fault.NewExpCrash(cfg.Seed, cfg.MTTFSec, cfg.MTTRSec); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		return nil
+	})
+
+	registerRetryPolicy(RetryImmediate, func(*Config) (RetryPolicy, error) {
+		return fault.Immediate{}, nil
+	}, nil)
+	registerRetryPolicy(RetryBackoff, func(cfg *Config) (RetryPolicy, error) {
+		base, capSec := cfg.RetryBackoffSec, cfg.RetryBackoffCapSec
+		if base == 0 {
+			base = 30
+		}
+		if capSec == 0 {
+			capSec = 600
+		}
+		return fault.NewBackoff(base, capSec, cfg.RetryMax)
+	}, func(cfg *Config) error {
+		base, capSec := cfg.RetryBackoffSec, cfg.RetryBackoffCapSec
+		if base == 0 {
+			base = 30
+		}
+		if capSec == 0 {
+			capSec = 600
+		}
+		if _, err := fault.NewBackoff(base, capSec, cfg.RetryMax); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		return nil
+	})
+	registerRetryPolicy(RetryDropAfter, func(cfg *Config) (RetryPolicy, error) {
+		return fault.DropAfter{Max: cfg.RetryMax}, nil
+	}, func(cfg *Config) error {
+		if cfg.RetryMax <= 0 {
+			return fmt.Errorf("hierdrl: retry policy %q needs RetryMax > 0, got %d", RetryDropAfter, cfg.RetryMax)
+		}
+		return nil
 	})
 }

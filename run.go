@@ -57,6 +57,18 @@ func validate(cfg *Config) error {
 	if err := checkDPMConfig(cfg); err != nil {
 		return err
 	}
+	if cfg.Faults == "" {
+		cfg.Faults = FaultNone
+	}
+	if cfg.Retry == "" {
+		cfg.Retry = RetryImmediate
+	}
+	if err := checkFaultConfig(cfg); err != nil {
+		return err
+	}
+	if err := checkRetryConfig(cfg); err != nil {
+		return err
+	}
 	// An explicit Cluster override must be complete and consistent with M;
 	// historically a partial override (M left zero) was silently replaced by
 	// the derived default, so a typoed override lost without a trace.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"hierdrl/internal/cluster"
@@ -37,6 +38,16 @@ type Observer struct {
 	OnCheckpoint func(cp Checkpoint)
 	// OnModeTransition fires at every server power-mode change.
 	OnModeTransition func(t Time, server int, from, to PowerState)
+	// OnServerFail fires when a server crashes (fault injection), after its
+	// jobs have been evicted into the retry path.
+	OnServerFail func(t Time, server int)
+	// OnServerRepair fires when a crashed server rejoins (cold).
+	OnServerRepair func(t Time, server int)
+	// OnJobRetry fires when the retry policy requeues an interrupted job:
+	// attempt counts the job's interruptions so far (from 1), delaySec is
+	// the backoff before it becomes eligible again. Dropped jobs fire no
+	// callback; they surface as JobsLost in snapshots and the summary.
+	OnJobRetry func(t Time, jobID, attempt int, delaySec float64)
 }
 
 // sessionOptions collects NewSession's functional options.
@@ -139,8 +150,34 @@ type Session struct {
 	// sr drives the parallel tier (nil in the strict tier).
 	sr *shardRunner
 
+	// Fault layer (all nil/zero when Config.Faults is FaultNone, leaving
+	// every fault branch below a never-taken nil check).
+	fm    FaultModel
+	rp    RetryPolicy
+	retry map[int]retryInfo // job ID -> attempts + original arrival
+	// Retry accounting: interrupted counts crash evictions, retried the
+	// requeues, lost the drops; lostWork integrates executed-then-discarded
+	// seconds. Pushed into the collector at Result time.
+	interrupted int64
+	retried     int64
+	lost        int64
+	lostWork    float64
+
+	// err latches the first terminal error (context cancellation or guard
+	// trip): all further clock advances return it and Result reports a
+	// partial run instead of misleading metrics.
+	err error
+
 	finished bool
 	closed   bool
+}
+
+// retryInfo tracks one in-retry job across interruptions: how often it has
+// been evicted and its original declared arrival (latency keeps counting
+// from the first arrival, not the requeue instant).
+type retryInfo struct {
+	attempts int
+	orig     float64
 }
 
 // NewSession validates cfg and builds a ready-but-empty session. For DRL
@@ -215,6 +252,10 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	if err != nil {
 		return nil, err
 	}
+	fm, rp, err := buildFaultLayer(&cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	s := &Session{
 		cfg:   cfg,
@@ -242,6 +283,16 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 		cl.SnapshotPrepare(&s.view) // M is the only field such allocators read
 	}
 
+	if fm != nil {
+		s.fm, s.rp = fm, rp
+		s.retry = make(map[int]retryInfo)
+		cl.EnableFaults(fm.ClockFor)
+	}
+	// Fail/repair edges ride the ordinary transition stream; route it when
+	// anyone listens (mode observer, or fault observers with faults on).
+	needTrans := o.obs.OnModeTransition != nil ||
+		(fm != nil && (o.obs.OnServerFail != nil || o.obs.OnServerRepair != nil))
+
 	s.col.OnCheckpoint = o.obs.OnCheckpoint
 	if p == 1 {
 		// Strict tier: synchronous callbacks on the single lane.
@@ -251,19 +302,25 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 			}
 		}
 		cl.OnJobDone = s.jobDone
-		if o.obs.OnModeTransition != nil {
-			cl.OnTransition = o.obs.OnModeTransition
+		if needTrans {
+			cl.OnTransition = s.routeTransition
+		}
+		if fm != nil {
+			cl.OnInterrupt = s.jobInterrupted
 		}
 	} else {
 		// Parallel tier: per-shard observation logs, replayed in merged time
 		// order at each epoch barrier (shard_engine.go).
-		cl.SetAsync(agent != nil, o.obs.OnModeTransition != nil)
+		cl.SetAsync(agent != nil, needTrans)
 		r := &shardRunner{s: s, p: p}
 		r.fastLL = s.fastLL
 		r.needsView = !s.fastLL && !s.viewFree
 		r.onDone = s.jobDone
-		if o.obs.OnModeTransition != nil {
-			r.onTrans = o.obs.OnModeTransition
+		if needTrans {
+			r.onTrans = s.routeTransition
+		}
+		if fm != nil {
+			r.onInterrupt = s.jobInterrupted
 		}
 		if agent != nil {
 			r.preEncode = true
@@ -296,7 +353,94 @@ func (s *Session) jobDone(t sim.Time, j *cluster.Job) {
 	if s.obs.OnJobDone != nil {
 		s.obs.OnJobDone(t, j)
 	}
+	if s.fm != nil {
+		delete(s.retry, j.ID)
+	}
 	s.pool = append(s.pool, j)
+}
+
+// routeTransition fans one power-mode change out to the attached observers,
+// classifying the fault edges: a transition into StateDown is a crash, one
+// out of it a repair.
+func (s *Session) routeTransition(t sim.Time, server int, from, to cluster.PowerState) {
+	if s.obs.OnModeTransition != nil {
+		s.obs.OnModeTransition(t, server, from, to)
+	}
+	if to == cluster.StateDown {
+		if s.obs.OnServerFail != nil {
+			s.obs.OnServerFail(t, server)
+		}
+	} else if from == cluster.StateDown {
+		if s.obs.OnServerRepair != nil {
+			s.obs.OnServerRepair(t, server)
+		}
+	}
+}
+
+// jobInterrupted is the cluster's crash-eviction callback — invoked during
+// the crash event in the strict tier, replayed at the epoch barrier in
+// merged (time, shard) order in the parallel tier. It routes the job through
+// the retry policy: a requeued job re-enters the pending queue at now+delay
+// under its original ID (latency keeps counting from the first declared
+// arrival), a dropped job counts as lost.
+func (s *Session) jobInterrupted(t sim.Time, j *cluster.Job) {
+	ri, ok := s.retry[j.ID]
+	if !ok {
+		ri.orig = float64(j.Arrival)
+	}
+	ri.attempts++
+	s.interrupted++
+	if started, ok := j.StartedAt(); ok {
+		s.lostWork += float64(t - started)
+	}
+	tj := Job{ID: j.ID, Arrival: float64(t), Duration: j.Duration, Req: j.Req.ToTraceReq()}
+	s.pool = append(s.pool, j)
+	delay, retryJob := s.rp.Retry(float64(t), tj, ri.attempts)
+	if !retryJob || math.IsInf(delay, 1) || math.IsNaN(delay) {
+		s.lost++
+		delete(s.retry, j.ID)
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	s.retry[j.ID] = ri
+	s.retried++
+	tj.Arrival = float64(t) + delay
+	s.requeue(tj)
+	if s.obs.OnJobRetry != nil {
+		s.obs.OnJobRetry(t, j.ID, ri.attempts, delay)
+	}
+}
+
+// requeue re-inserts an interrupted job behind the same (arrival, order)
+// total order Submit maintains — without assigning a new ID or counting it
+// as ingested again — and re-arms the strict tier's pump (a no-op in the
+// parallel tier, whose epoch loop reads the queue directly).
+func (s *Session) requeue(tj Job) {
+	s.queue = append(s.queue, tj)
+	for i := len(s.queue) - 1; i > s.qhead && s.queue[i].Arrival < s.queue[i-1].Arrival; i-- {
+		s.queue[i], s.queue[i-1] = s.queue[i-1], s.queue[i]
+	}
+	s.arm()
+}
+
+// drained reports whether every ingested job is accounted for — completed or
+// dropped — with no arrival pending. With failure clocks armed the event
+// queues are never empty (every server always holds a crash or repair
+// timer), so fault-aware Drain stops on this accounting condition rather
+// than on queue exhaustion.
+func (s *Session) drained() bool {
+	return s.qhead >= len(s.queue) && s.cl.Completed()+s.lost == s.ingested
+}
+
+// fail latches the first terminal error; once set, every clock-advancing
+// call returns it unchanged.
+func (s *Session) fail(err error) error {
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	return err
 }
 
 // Reserve pre-sizes the ingestion queue and metric buffers for n further
@@ -406,16 +550,21 @@ func (s *Session) arm() {
 // snapshot, submit, and re-arm for the next pending arrival.
 func (s *Session) pumpFire() {
 	s.pumpTimer = sim.Timer{}
+	if s.fm != nil && s.cl.DownServers() == s.cl.M() {
+		// Every server is down: park the pump at the earliest repair. The
+		// repair event sits in the same (normal) lane with an earlier
+		// sequence number, so at that instant it fires before the pump does
+		// and the retried dispatch sees the server back up.
+		at := s.cl.NextRepairAt()
+		if now := s.sm.Now(); at < now {
+			at = now
+		}
+		s.pumpTimer = s.sm.ScheduleArg(at, sessionPumpFire, s)
+		return
+	}
 	tj := s.queue[s.qhead]
 	s.popHead()
-	var j *cluster.Job
-	if n := len(s.pool); n > 0 {
-		j = s.pool[n-1]
-		s.pool = s.pool[:n-1]
-		j.Renew(tj)
-	} else {
-		j = cluster.NewJob(tj)
-	}
+	j := s.takeJob(tj)
 	var target int
 	switch {
 	case s.fastLL:
@@ -430,8 +579,33 @@ func (s *Session) pumpFire() {
 	default:
 		target = s.alloc.Allocate(j, s.cl.SnapshotInto(&s.view))
 	}
+	if s.fm != nil && s.cl.Down(target) {
+		// Graceful degradation for state-blind allocators (round-robin,
+		// random, a stale DRL pick): cyclically remap onto a live server.
+		target = s.cl.NextUp(target)
+	}
 	s.cl.Submit(j, target)
 	s.arm()
+}
+
+// takeJob renews a pooled cluster job (or allocates one) for dispatch. A
+// retried job's declared arrival is restored to its original instant, so its
+// latency accumulates across interruptions from the first arrival.
+func (s *Session) takeJob(tj Job) *cluster.Job {
+	var j *cluster.Job
+	if n := len(s.pool); n > 0 {
+		j = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		j.Renew(tj)
+	} else {
+		j = cluster.NewJob(tj)
+	}
+	if s.fm != nil {
+		if ri, ok := s.retry[j.ID]; ok {
+			j.Arrival = sim.Time(ri.orig)
+		}
+	}
+	return j
 }
 
 // popHead consumes the queue head, recycling the backing array when the
@@ -470,7 +644,13 @@ func (s *Session) ctxErr() error {
 // parallel tier applies the same bound summed across lanes; see
 // shardRunner.guard.)
 func (s *Session) guard() error {
-	if s.sm.Fired() > 64*s.ingested+1024 {
+	budget := 64*s.ingested + 1024
+	if s.fm != nil {
+		// Fault runs self-fund their extra events: every requeue re-dispatches
+		// one job, and every crash schedules one crash + one repair event.
+		budget += 64*s.retried + 16*s.cl.Failures()
+	}
+	if s.sm.Fired() > budget {
 		return fmt.Errorf("hierdrl: event budget exceeded (%d events for %d jobs): runaway model",
 			s.sm.Fired(), s.ingested)
 	}
@@ -487,14 +667,18 @@ func (s *Session) Step() (bool, error) {
 	if s.closed {
 		return false, ErrSessionClosed
 	}
+	if s.err != nil {
+		return false, s.err
+	}
 	if s.sr != nil {
-		return s.sr.step()
+		ok, err := s.sr.step()
+		return ok, s.fail(err)
 	}
 	if err := s.ctxErr(); err != nil {
-		return false, err
+		return false, s.fail(err)
 	}
 	if err := s.guard(); err != nil {
-		return false, err
+		return false, s.fail(err)
 	}
 	return s.sm.Step(), nil
 }
@@ -506,13 +690,16 @@ func (s *Session) StepUntil(t Time) error {
 	if s.closed {
 		return ErrSessionClosed
 	}
+	if s.err != nil {
+		return s.err
+	}
 	if s.sr != nil {
-		return s.sr.stepUntil(t)
+		return s.fail(s.sr.stepUntil(t))
 	}
 	for i := 0; ; i++ {
 		if i&255 == 0 {
 			if err := s.ctxErr(); err != nil {
-				return err
+				return s.fail(err)
 			}
 		}
 		next, ok := s.sm.PeekTime()
@@ -520,7 +707,7 @@ func (s *Session) StepUntil(t Time) error {
 			break
 		}
 		if err := s.guard(); err != nil {
-			return err
+			return s.fail(err)
 		}
 		s.sm.Step()
 	}
@@ -534,17 +721,25 @@ func (s *Session) Drain() error {
 	if s.closed {
 		return ErrSessionClosed
 	}
+	if s.err != nil {
+		return s.err
+	}
 	if s.sr != nil {
-		return s.sr.drainAll()
+		return s.fail(s.sr.drainAll())
 	}
 	for i := 0; ; i++ {
 		if i&255 == 0 {
 			if err := s.ctxErr(); err != nil {
-				return err
+				return s.fail(err)
 			}
 		}
 		if err := s.guard(); err != nil {
-			return err
+			return s.fail(err)
+		}
+		if s.fm != nil && s.drained() {
+			// Fault runs never run out of events (crash/repair timers are
+			// perpetual): stop once the job accounting closes instead.
+			return nil
 		}
 		if !s.sm.Step() {
 			return nil
@@ -590,6 +785,16 @@ type SessionSnapshot struct {
 	// AccLatencySec/AvgLatencySec summarize completed-job latency so far.
 	AccLatencySec float64
 	AvgLatencySec float64
+	// Robustness state (fault injection; ServersDown 0 and Availability 1 on
+	// fault-free runs). Availability is 1 - downtime/(M * elapsed); Failures
+	// counts crashes; JobsRetried/JobsLost count retry-policy outcomes;
+	// LostWorkSec integrates executed-then-discarded work.
+	ServersDown  int
+	Failures     int64
+	JobsRetried  int64
+	JobsLost     int64
+	LostWorkSec  float64
+	Availability float64
 	// View is a freshly captured per-server snapshot (owned by the caller).
 	View *ClusterView
 }
@@ -632,6 +837,15 @@ func (s *Session) SnapshotInto(dst *SessionSnapshot) {
 	if n := s.col.Completed(); n > 0 {
 		dst.AvgLatencySec = dst.AccLatencySec / float64(n)
 	}
+	dst.ServersDown = s.cl.DownServers()
+	dst.Failures = s.cl.Failures()
+	dst.JobsRetried = s.retried
+	dst.JobsLost = s.lost
+	dst.LostWorkSec = s.lostWork
+	dst.Availability = 1
+	if now > 0 {
+		dst.Availability = 1 - s.cl.DownSeconds(now)/(float64(s.cl.M())*now.Seconds())
+	}
 }
 
 // Result finalizes the run and returns the measurements: the Table I summary
@@ -643,7 +857,11 @@ func (s *Session) Result() (*Result, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	if got := s.cl.Completed(); got != s.ingested {
+	if s.err != nil {
+		return nil, fmt.Errorf("hierdrl: partial run (%d of %d jobs completed at t=%v): %w",
+			s.cl.Completed(), s.ingested, s.Now(), s.err)
+	}
+	if got := s.cl.Completed(); got+s.lost != s.ingested {
 		return nil, fmt.Errorf("hierdrl: %d of %d jobs completed", got, s.ingested)
 	}
 	s.finishEpisode()
@@ -651,6 +869,7 @@ func (s *Session) Result() (*Result, error) {
 	if s.sr != nil && s.sr.merger != nil {
 		s.sr.merger.InvariantCheck(s.cl)
 	}
+	s.col.SetFaultTallies(s.interrupted, s.retried, s.lost, s.lostWork)
 	res := &Result{
 		Summary:     s.col.Summarize(s.cfg.Name, s.Now()),
 		Checkpoints: s.col.Checkpoints(),

@@ -1,0 +1,74 @@
+package hierdrl_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hierdrl"
+)
+
+// TestSessionStickyError pins the post-error contract on both tiers: once a
+// clock-advancing call fails (here: context cancellation mid-run), every
+// later Step/StepUntil/Drain returns that same error, and Result reports a
+// wrapped partial-run error instead of fabricating measurements from a run
+// that never finished.
+func TestSessionStickyError(t *testing.T) {
+	for _, p := range []int{1, 2} {
+		cfg := faultCfg(6)
+		tr := hierdrl.SyntheticTraceForCluster(2000, 6, 1)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var s *hierdrl.Session
+		obs := hierdrl.Observer{
+			OnJobDone: func(at hierdrl.Time, j *hierdrl.ClusterJob) {
+				// Cancel mid-run, once a couple hundred jobs completed.
+				if j.ID == 200 {
+					cancel()
+				}
+			},
+		}
+		s, err := hierdrl.NewSession(cfg, hierdrl.WithShards(p),
+			hierdrl.WithContext(ctx), hierdrl.WithObserver(obs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if err := s.SubmitTrace(tr); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+
+		first := s.Drain()
+		if !errors.Is(first, context.Canceled) {
+			t.Fatalf("P=%d: Drain after cancel = %v, want context.Canceled", p, first)
+		}
+
+		// The error is sticky: every subsequent advance returns it verbatim.
+		if _, err := s.Step(); !errors.Is(err, context.Canceled) {
+			t.Errorf("P=%d: Step after failure = %v, want sticky context.Canceled", p, err)
+		}
+		if err := s.StepUntil(s.Now() + 1); !errors.Is(err, context.Canceled) {
+			t.Errorf("P=%d: StepUntil after failure = %v, want sticky context.Canceled", p, err)
+		}
+		if err := s.Drain(); !errors.Is(err, context.Canceled) {
+			t.Errorf("P=%d: Drain after failure = %v, want sticky context.Canceled", p, err)
+		}
+
+		// Result refuses to summarize the partial run, and says why.
+		res, err := s.Result()
+		if res != nil || err == nil {
+			t.Fatalf("P=%d: Result after failure = (%v, %v), want (nil, partial-run error)", p, res, err)
+		}
+		if !errors.Is(err, context.Canceled) || !strings.Contains(err.Error(), "partial run") {
+			t.Errorf("P=%d: Result error %q: want wrapped partial-run context.Canceled", p, err)
+		}
+
+		// Read-only accessors keep working on the frozen state.
+		if s.Completed() == 0 || s.Ingested() == 0 {
+			t.Errorf("P=%d: accessors lost state after failure: completed=%d ingested=%d",
+				p, s.Completed(), s.Ingested())
+		}
+		s.Close()
+	}
+}

@@ -70,12 +70,15 @@ type dispatch struct {
 
 // phaseCmd is the coordinator-published work order of one phase. It is
 // written before the barrier release and read after the workers observe it,
-// so it needs no lock of its own.
+// so it needs no lock of its own. d carries the dispatches this phase
+// commits, sorted by instant; without faults at most one is ever in flight,
+// but crash requeues can schedule a new dispatch before an uncommitted one,
+// so the in-flight set is a list.
 type phaseCmd struct {
 	mode    runMode
 	until   sim.Time
 	refresh bool // refresh gather-view ranges (and pre-encode for DRL)
-	d       dispatch
+	d       []dispatch
 	stop    bool
 }
 
@@ -167,14 +170,21 @@ type shardRunner struct {
 	// barrier-time snapshots and checkpoints integrate consistently.
 	clock sim.Time
 
-	// pend is the allocated-but-uncommitted dispatch (executed by its target
-	// shard in the next phase whose until covers it).
-	pend dispatch
+	// pends holds the allocated-but-uncommitted dispatches, sorted by
+	// instant (stable on ties); each is executed by its target shard in the
+	// next phase whose until covers it. Fault-free runs keep at most one
+	// entry — arrival instants are monotone — but a crash requeue can put a
+	// new dispatch ahead of an uncommitted one, so this is a list (a single
+	// slot would drop the overtaken dispatch). commit is the reusable
+	// per-phase buffer handed to the workers through phaseCmd.
+	pends  []dispatch
+	commit []dispatch
 
-	// onDone/onTrans are the replay callbacks, bound once — passing a method
-	// value per round would allocate.
-	onDone  func(sim.Time, *cluster.Job)
-	onTrans func(sim.Time, int, cluster.PowerState, cluster.PowerState)
+	// onDone/onTrans/onInterrupt are the replay callbacks, bound once —
+	// passing a method value per round would allocate.
+	onDone      func(sim.Time, *cluster.Job)
+	onTrans     func(sim.Time, int, cluster.PowerState, cluster.PowerState)
+	onInterrupt func(sim.Time, *cluster.Job)
 
 	// Allocator strategy flags (classified once at construction).
 	needsView bool // allocator reads server state: refresh the view each epoch
@@ -192,9 +202,18 @@ func (r *shardRunner) runPhase(id int) {
 	cl := r.s.cl
 	lane := cl.Lane(id)
 	c := &r.cmd
-	if c.d.job != nil && c.d.shard == id {
-		lane.AdvanceTo(c.d.at)
-		cl.Submit(c.d.job, c.d.target)
+	for i := range c.d {
+		d := &c.d[i]
+		if d.shard != id {
+			continue
+		}
+		// Quiesce the lane before the dispatch instant first: an earlier
+		// commit this phase may have scheduled events below d.at. Fault-free
+		// runs commit one dispatch per phase with the lane already run
+		// before d.at, so the extra RunBefore is a no-op there.
+		lane.RunBefore(d.at)
+		lane.AdvanceTo(d.at)
+		cl.Submit(d.job, d.target)
 	}
 	switch c.mode {
 	case runBefore:
@@ -229,16 +248,16 @@ func (r *shardRunner) worker(id int) {
 }
 
 // round runs one barrier-delimited phase and replays the merged observation
-// logs. The pending dispatch is attached when the phase covers its instant
-// (always true in the epoch loop — dispatch instants are monotone — and
-// checked explicitly so a bounded StepUntil never commits a dispatch beyond
+// logs. Pending dispatches are attached when the phase covers their instant
+// (checked explicitly so a bounded StepUntil never commits a dispatch beyond
 // its horizon). The coordinator overlaps shard 0's phase work with the
 // workers' before joining.
 func (r *shardRunner) round(mode runMode, until sim.Time, refresh bool) {
 	r.cmd = phaseCmd{mode: mode, until: until, refresh: refresh}
-	if r.pend.job != nil && r.pend.at <= until {
-		r.cmd.d = r.pend
-		r.pend = dispatch{}
+	if n := r.coveredPends(until); n > 0 {
+		r.commit = append(r.commit[:0], r.pends[:n]...)
+		r.pends = r.pends[:copy(r.pends, r.pends[n:])]
+		r.cmd.d = r.commit
 	}
 	r.bar.release()
 	r.runPhase(0)
@@ -262,6 +281,12 @@ func (r *shardRunner) replay() {
 	if r.onTrans != nil {
 		s.cl.DrainTrans(r.onTrans)
 	}
+	if r.onInterrupt != nil {
+		// Crash evictions replay last: a job completed at the same instant its
+		// server died was already running, so its completion wins the tie and
+		// the eviction stream only carries genuinely interrupted work.
+		s.cl.DrainInterrupts(r.onInterrupt)
+	}
 }
 
 // guard bounds total event count relative to ingested jobs across all lanes
@@ -271,7 +296,13 @@ func (r *shardRunner) guard() error {
 	for i := 0; i < r.p; i++ {
 		fired += r.s.cl.Lane(i).Fired()
 	}
-	if fired > 64*r.s.ingested+1024 {
+	budget := 64*r.s.ingested + 1024
+	if r.s.fm != nil {
+		// Fault chains fund their own events: crashes and repairs each fire a
+		// timer, and every requeue replays a dispatch cascade.
+		budget += 64*r.s.retried + 16*r.s.cl.Failures()
+	}
+	if fired > budget {
 		return fmt.Errorf("hierdrl: event budget exceeded (%d events for %d jobs): runaway model",
 			fired, r.s.ingested)
 	}
@@ -286,6 +317,28 @@ func (r *shardRunner) anyEvents() bool {
 		}
 	}
 	return false
+}
+
+// coveredPends returns how many leading entries of the sorted in-flight
+// dispatch list fall at or before until (eligible to commit this phase).
+func (r *shardRunner) coveredPends(until sim.Time) int {
+	n := 0
+	for n < len(r.pends) && r.pends[n].at <= until {
+		n++
+	}
+	return n
+}
+
+// nextEventTime returns the earliest pending instant across all lanes
+// (infTime when every lane is idle).
+func (r *shardRunner) nextEventTime() sim.Time {
+	h := infTime
+	for i := 0; i < r.p; i++ {
+		if at, ok := r.s.cl.Lane(i).PeekTime(); ok && at < h {
+			h = at
+		}
+	}
+	return h
 }
 
 // step advances the engine by one decision epoch: quiesce every lane up to
@@ -309,10 +362,37 @@ func (r *shardRunner) step() (bool, error) {
 			at = r.clock
 		}
 		r.round(runBefore, at, r.needsView)
+		if s.fm != nil && s.cl.DownServers() == s.cl.M() {
+			// Every server is down at the dispatch instant: run the lanes
+			// through the earliest repair instead of allocating into a dead
+			// cluster. The arrival re-dispatches on the next step against the
+			// repaired state (the sharded analogue of the strict pump parking
+			// at NextRepairAt).
+			r.round(runThrough, s.cl.NextRepairAt(), false)
+			return true, nil
+		}
 		r.dispatchNext(at)
 		return true, nil
 	}
-	if r.pend.job != nil || r.anyEvents() {
+	if s.fm != nil {
+		// With failure clocks armed the lanes never drain — every server
+		// always holds a crash or repair timer — so runAll would spin
+		// forever. Closing phases instead advance event by event until the
+		// accounting condition holds: every ingested job completed or lost.
+		if len(r.pends) == 0 && s.drained() {
+			return false, nil
+		}
+		h := r.nextEventTime()
+		if len(r.pends) > 0 && r.pends[0].at < h {
+			h = r.pends[0].at
+		}
+		if h == infTime {
+			return false, nil
+		}
+		r.round(runThrough, h, false)
+		return true, nil
+	}
+	if len(r.pends) > 0 || r.anyEvents() {
 		r.round(runAll, infTime, false)
 		return true, nil
 	}
@@ -325,14 +405,7 @@ func (r *shardRunner) dispatchNext(at sim.Time) {
 	s := r.s
 	tj := s.queue[s.qhead]
 	s.popHead()
-	var j *cluster.Job
-	if n := len(s.pool); n > 0 {
-		j = s.pool[n-1]
-		s.pool = s.pool[:n-1]
-		j.Renew(tj)
-	} else {
-		j = cluster.NewJob(tj)
-	}
+	j := s.takeJob(tj)
 	r.view.Now = at
 	var target int
 	switch {
@@ -349,7 +422,20 @@ func (r *shardRunner) dispatchNext(at sim.Time) {
 	default:
 		target = s.alloc.Allocate(j, &r.view)
 	}
-	r.pend = dispatch{job: j, target: target, shard: s.cl.ShardOf(target), at: at}
+	if s.fm != nil && s.cl.Down(target) {
+		// State-blind allocators (round-robin, random, a stale DRL head) may
+		// still pick a dead server; remap to the next live one. The all-down
+		// case was stalled out before dispatch, so NextUp always finds one.
+		target = s.cl.NextUp(target)
+	}
+	r.pends = append(r.pends, dispatch{job: j, target: target, shard: s.cl.ShardOf(target), at: at})
+	// Keep the in-flight list sorted by instant, stable on ties. A crash
+	// requeue can dispatch before an uncommitted earlier allocation (its
+	// re-arrival may precede the pending dispatch's instant), so the new
+	// entry is not always the maximum.
+	for i := len(r.pends) - 1; i > 0 && r.pends[i].at < r.pends[i-1].at; i-- {
+		r.pends[i], r.pends[i-1] = r.pends[i-1], r.pends[i]
+	}
 }
 
 // drainAll runs decision epochs until every submitted job has completed and
@@ -385,6 +471,17 @@ func (r *shardRunner) stepUntil(t sim.Time) error {
 			at = r.clock
 		}
 		r.round(runBefore, at, r.needsView)
+		if s.fm != nil && s.cl.DownServers() == s.cl.M() {
+			// All servers down at the dispatch instant: advance to the
+			// earliest repair if it lies within the horizon, else leave the
+			// arrival pending for a later call (like a late submission).
+			ra := s.cl.NextRepairAt()
+			if ra > t {
+				break
+			}
+			r.round(runThrough, ra, false)
+			continue
+		}
 		r.dispatchNext(at)
 	}
 	if err := s.ctxErr(); err != nil {
