@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke profile examples-smoke clean
+.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke crash-smoke profile examples-smoke clean
 
 all: vet build test
 
@@ -63,6 +63,13 @@ scale-smoke:
 # bitwise reproducibility check, both under the race detector.
 chaos-smoke:
 	$(GO) test -race -run 'TestFaultObserverHammer|TestFaultReproducibleAcrossRuns' -v .
+
+# crash-smoke is the durability CI gate: the mid-run checkpoint/restore
+# bitwise matrix across both tiers (incl. fault runs), the corrupt-snapshot
+# rejection table, and the end-to-end SIGKILL-and-resume drill against the
+# hiersim binary.
+crash-smoke:
+	$(GO) test -run 'TestCheckpointResumeBitwise|TestRestoreRejectsCorruptSnapshots|TestAutoCheckpointRotationAndResume|TestCrashResumeHarnessCLI' -v .
 
 # bench-full additionally regenerates the paper tables/figures benchmarks
 # (minutes, not seconds).

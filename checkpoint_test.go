@@ -1,0 +1,410 @@
+package hierdrl_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hierdrl"
+)
+
+// warmTrace is the small DRL warmup workload shared by the checkpoint tests.
+func warmTrace(m int) *hierdrl.Trace {
+	return hierdrl.SyntheticTraceForCluster(150, m, 1001)
+}
+
+// expCrashCfg arms aggressive exponential faults on a least-loaded baseline.
+func expCrashCfg(m int, retry hierdrl.RetryKind) hierdrl.Config {
+	cfg := hierdrl.RoundRobin(m)
+	cfg.Name = "ckpt-faults"
+	cfg.Alloc = hierdrl.AllocLeastLoaded
+	cfg.Faults = hierdrl.FaultExpCrash
+	cfg.MTTFSec = 20000
+	cfg.MTTRSec = 600
+	cfg.Retry = retry
+	return cfg
+}
+
+func drainResult(t *testing.T, s *hierdrl.Session) *hierdrl.Result {
+	t.Helper()
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	return res
+}
+
+// stepToCompleted advances the session one Step at a time until at least n
+// jobs completed, leaving it at a decision-epoch boundary mid-run.
+func stepToCompleted(t *testing.T, s *hierdrl.Session, n int64) {
+	t.Helper()
+	for s.Completed() < n {
+		ok, err := s.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if !ok {
+			t.Fatalf("engine idle at %d completed, wanted to pause at %d", s.Completed(), n)
+		}
+	}
+}
+
+// TestCheckpointResumeBitwise is the tentpole acceptance test: for every
+// execution tier and subsystem mix, a run that is checkpointed mid-flight,
+// abandoned, and restored from the snapshot must produce a final Result
+// bitwise identical to the uninterrupted reference — and the act of writing
+// the checkpoint must not perturb the original run either.
+func TestCheckpointResumeBitwise(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    func() hierdrl.Config
+		jobs   int
+		shards int
+	}{
+		{"strict/drl-fixed-timeout", func() hierdrl.Config {
+			cfg := hierdrl.FixedTimeoutBaseline(6, 45)
+			cfg.WarmupTrace = warmTrace(6)
+			cfg.CheckpointEvery = 40
+			return cfg
+		}, 240, 1},
+		{"strict/hierarchical-lstm", func() hierdrl.Config {
+			cfg := hierdrl.Hierarchical(6)
+			cfg.WarmupTrace = warmTrace(6)
+			return cfg
+		}, 220, 1},
+		{"strict/faults-backoff", func() hierdrl.Config {
+			cfg := expCrashCfg(6, hierdrl.RetryBackoff)
+			cfg.CheckpointEvery = 250
+			return cfg
+		}, 2000, 1},
+		{"sharded-p2/least-loaded", func() hierdrl.Config {
+			cfg := hierdrl.RoundRobin(8)
+			cfg.Alloc = hierdrl.AllocLeastLoaded
+			cfg.CheckpointEvery = 250
+			return cfg
+		}, 2000, 2},
+		{"sharded-p4/drl-adhoc", func() hierdrl.Config {
+			cfg := hierdrl.DRLOnly(8)
+			cfg.WarmupTrace = warmTrace(8)
+			return cfg
+		}, 240, 4},
+		{"sharded-p2/faults-immediate", func() hierdrl.Config {
+			cfg := expCrashCfg(8, hierdrl.RetryImmediate)
+			return cfg
+		}, 2000, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			tr := hierdrl.SyntheticTraceForCluster(tc.jobs, cfg.M, 1)
+
+			// Reference: the identical run, never checkpointed.
+			ref, err := hierdrl.NewSession(cfg, hierdrl.WithShards(tc.shards))
+			if err != nil {
+				t.Fatalf("reference session: %v", err)
+			}
+			defer ref.Close()
+			if err := ref.SubmitTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			refRes := drainResult(t, ref)
+
+			// Original: pause mid-run, snapshot, then keep going.
+			orig, err := hierdrl.NewSession(cfg, hierdrl.WithShards(tc.shards))
+			if err != nil {
+				t.Fatalf("original session: %v", err)
+			}
+			defer orig.Close()
+			if err := orig.SubmitTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			stepToCompleted(t, orig, int64(tc.jobs/2))
+			var snap bytes.Buffer
+			if err := orig.Checkpoint(&snap); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			origRes := drainResult(t, orig)
+			if !reflect.DeepEqual(refRes, origRes) {
+				t.Fatalf("writing a checkpoint perturbed the run:\nref:  %+v\norig: %+v",
+					refRes.Summary, origRes.Summary)
+			}
+
+			// Restored: rebuild from the snapshot alone and finish the run.
+			restored, err := hierdrl.Restore(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			defer restored.Close()
+			resRes := drainResult(t, restored)
+			if !reflect.DeepEqual(refRes, resRes) {
+				t.Fatalf("resumed run diverges from uninterrupted reference:\nref:     %+v\nresumed: %+v",
+					refRes.Summary, resRes.Summary)
+			}
+			if len(resRes.Checkpoints) != len(refRes.Checkpoints) {
+				t.Fatalf("checkpoint series %d vs %d entries",
+					len(resRes.Checkpoints), len(refRes.Checkpoints))
+			}
+		})
+	}
+}
+
+// smallSnapshot builds one valid mid-run snapshot for the corruption tests.
+func smallSnapshot(t *testing.T) []byte {
+	t.Helper()
+	cfg := hierdrl.RoundRobin(4)
+	cfg.Alloc = hierdrl.AllocLeastLoaded
+	tr := hierdrl.SyntheticTraceForCluster(300, 4, 1)
+	s, err := hierdrl.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SubmitTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	stepToCompleted(t, s, 150)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreRejectsCorruptSnapshots mutates a valid snapshot one corruption
+// class at a time and pins the sentinel each class must surface. Container
+// layout (internal/checkpoint): magic [0,8), version u32 [8,12), fingerprint
+// u64 [12,20), nSections u32 [20,24), then the section table — first entry
+// nameLen u16 [24,26), name "config" [26,32), payloadLen u64 [32,40).
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	good := smallSnapshot(t)
+	if s, err := hierdrl.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	} else {
+		s.Close()
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+		want   error
+	}{
+		{"empty-file", func(b []byte) []byte { return nil }, hierdrl.ErrCorrupt},
+		{"truncated-header", func(b []byte) []byte { return b[:10] }, hierdrl.ErrCorrupt},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, hierdrl.ErrCorrupt},
+		{"unsupported-version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 99)
+			return b
+		}, hierdrl.ErrVersion},
+		{"fingerprint-flip", func(b []byte) []byte { b[12] ^= 0xFF; return b }, hierdrl.ErrConfigMismatch},
+		{"implausible-section-count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:], 100000)
+			return b
+		}, hierdrl.ErrCorrupt},
+		{"section-table-dropped", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:], 0)
+			return b
+		}, hierdrl.ErrCorrupt},
+		{"section-name-tampered", func(b []byte) []byte { b[26] ^= 0x20; return b }, hierdrl.ErrCorrupt},
+		{"section-length-huge", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:], 1<<40)
+			return b
+		}, hierdrl.ErrCorrupt},
+		{"payload-truncated", func(b []byte) []byte { return b[:len(b)-5] }, hierdrl.ErrCorrupt},
+		{"payload-bit-flip-tail", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, hierdrl.ErrCorrupt},
+		{"payload-bit-flip-mid", func(b []byte) []byte { b[len(b)*3/4] ^= 0x01; return b }, hierdrl.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mutant := tc.mutate(append([]byte(nil), good...))
+			s, err := hierdrl.Restore(bytes.NewReader(mutant))
+			if err == nil {
+				s.Close()
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSessionWeightsGoldenRoundTrip covers the weights-only export: saving a
+// trained session's policy, loading it into a fresh session, and re-saving
+// must reproduce the export byte for byte (so the loaded networks are
+// bitwise-identical — internal/global's TestAgentWeightsRoundTrip pins the
+// matching Q-value equality at the network level). Sessions without a DRL
+// agent reject the API.
+func TestSessionWeightsGoldenRoundTrip(t *testing.T) {
+	cfg := hierdrl.DRLOnly(5)
+	cfg.WarmupTrace = warmTrace(5)
+	tr := hierdrl.SyntheticTraceForCluster(200, 5, 1)
+
+	s1, err := hierdrl.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if err := s1.SubmitTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	drainResult(t, s1)
+	var w1 bytes.Buffer
+	if err := s1.SaveWeights(&w1); err != nil {
+		t.Fatalf("SaveWeights: %v", err)
+	}
+
+	cfg2 := cfg
+	cfg2.WarmupTrace = nil // fresh, untrained agent
+	s2, err := hierdrl.NewSession(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.LoadWeights(bytes.NewReader(w1.Bytes())); err != nil {
+		t.Fatalf("LoadWeights: %v", err)
+	}
+	var w2 bytes.Buffer
+	if err := s2.SaveWeights(&w2); err != nil {
+		t.Fatalf("re-SaveWeights: %v", err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatalf("weights export not golden: %d vs %d bytes differ", w1.Len(), w2.Len())
+	}
+
+	s3, err := hierdrl.NewSession(hierdrl.RoundRobin(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if err := s3.SaveWeights(io.Discard); err == nil {
+		t.Fatal("SaveWeights accepted on a session without a DRL agent")
+	}
+	if err := s3.LoadWeights(bytes.NewReader(w1.Bytes())); err == nil {
+		t.Fatal("LoadWeights accepted on a session without a DRL agent")
+	}
+}
+
+// TestSessionCloseIdempotentAndCheckpointClosed pins the small-fix satellite:
+// repeated Close stays a nil no-op, and Checkpoint on a closed session
+// surfaces ErrSessionClosed instead of serializing torn-down state.
+func TestSessionCloseIdempotentAndCheckpointClosed(t *testing.T) {
+	cfg := hierdrl.RoundRobin(4)
+	cfg.Alloc = hierdrl.AllocLeastLoaded
+	s, err := hierdrl.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitTrace(hierdrl.SyntheticTraceForCluster(50, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	drainResult(t, s)
+	for i := 0; i < 3; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if err := s.Checkpoint(io.Discard); !errors.Is(err, hierdrl.ErrSessionClosed) {
+		t.Fatalf("Checkpoint after Close: got %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestCheckpointAfterErrorReturnsLatched: once a run fails terminally
+// (context cancellation here), Checkpoint must refuse with the latched error
+// and write nothing — a partial failed run is not a resumable state.
+func TestCheckpointAfterErrorReturnsLatched(t *testing.T) {
+	cfg := hierdrl.RoundRobin(4)
+	cfg.Alloc = hierdrl.AllocLeastLoaded
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := hierdrl.NewSession(cfg, hierdrl.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SubmitTrace(hierdrl.SyntheticTraceForCluster(200, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := s.Drain(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain after cancel: got %v, want context.Canceled", err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Checkpoint after latched error: got %v, want wrapped context.Canceled", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Checkpoint wrote %d bytes despite refusing", buf.Len())
+	}
+}
+
+// TestAutoCheckpointRotationAndResume: WithAutoCheckpoint writes rotated
+// generations (path, path.1, path.2) without perturbing the run, never
+// leaves its staging file behind, and the newest snapshot resumes to the
+// bitwise-identical final Result.
+func TestAutoCheckpointRotationAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	cfg := hierdrl.RoundRobin(6)
+	cfg.Alloc = hierdrl.AllocLeastLoaded
+	cfg.CheckpointEvery = 200
+	tr := hierdrl.SyntheticTraceForCluster(1200, 6, 1)
+
+	ref, err := hierdrl.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.SubmitTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	refRes := drainResult(t, ref)
+
+	s, err := hierdrl.NewSession(cfg, hierdrl.WithAutoCheckpoint(path, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SubmitTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	autoRes := drainResult(t, s)
+	if !reflect.DeepEqual(refRes, autoRes) {
+		t.Fatalf("auto-checkpointing perturbed the run:\nref:  %+v\nauto: %+v",
+			refRes.Summary, autoRes.Summary)
+	}
+
+	for _, f := range []string{path, path + ".1", path + ".2"} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("rotated snapshot %s missing: %v", f, err)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("staging file survived: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := hierdrl.Restore(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("restore newest auto snapshot: %v", err)
+	}
+	defer restored.Close()
+	resRes := drainResult(t, restored)
+	if !reflect.DeepEqual(refRes, resRes) {
+		t.Fatalf("resume from auto snapshot diverges:\nref:     %+v\nresumed: %+v",
+			refRes.Summary, resRes.Summary)
+	}
+}

@@ -9,6 +9,8 @@
 //	hiersim -system fixed-timeout -timeout 60 -trace mytrace.csv
 //	hiersim -system scale-10k -shards 8
 //	hiersim -system round-robin -faults exp-crash -mttf 20000 -mttr 600 -retry backoff
+//	hiersim -system hierarchical -servers 30 -checkpoint run.ckpt -checkpoint-every 500
+//	hiersim -resume run.ckpt
 //
 // The scale-10k system is the multi-core single-run preset: 10,000 servers,
 // 2M jobs streamed from the generator, least-loaded dispatch over the
@@ -32,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	"hierdrl"
 )
@@ -65,6 +68,14 @@ func main() {
 		"requeue policy for crash-evicted jobs: immediate | backoff | drop-after")
 	retryMax := flag.Int("retry-max", 0,
 		"max retry attempts before a job is dropped (0 = unbounded; required > 0 with -retry drop-after)")
+	checkpointPath := flag.String("checkpoint", "",
+		"write a crash-safe snapshot to this file every -checkpoint-every completed jobs "+
+			"and on SIGINT/SIGTERM (batch mode; resume with -resume)")
+	checkpointEvery := flag.Int("checkpoint-every", 1000,
+		"completed jobs between automatic snapshots (with -checkpoint)")
+	resume := flag.String("resume", "",
+		"resume a batch run from a snapshot written by -checkpoint "+
+			"(the config and workload come from the snapshot; system/trace flags are ignored)")
 	flag.Parse()
 
 	var cfg hierdrl.Config
@@ -117,11 +128,25 @@ func main() {
 		cfg.WarmupTrace = hierdrl.SyntheticTraceForCluster(*warmup, *servers, *seed+1000)
 	}
 
-	// SIGINT cancels the session between events; the run then surfaces a
-	// final snapshot and exits cleanly instead of dying mid-simulation. A
-	// second interrupt (after stop restores the default handler) kills hard.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the session between events; the run then surfaces
+	// a final snapshot (and, with -checkpoint, flushes a resumable snapshot
+	// file) and exits cleanly instead of dying mid-simulation. A second
+	// signal (after stop restores the default handler) kills hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *resume != "" {
+		if *stream {
+			log.Fatal("-resume continues a batch run; it cannot be combined with -stream")
+		}
+		runResume(ctx, *resume, *checkpointPath, *checkpointEvery, *series)
+		return
+	}
+	if *checkpointPath != "" && (*stream || (*system == "scale-10k" && *traceFile == "")) {
+		// A snapshot captures every ingested-but-unfinished job, but not an
+		// external stdin stream or generator feed, so such runs cannot resume.
+		log.Fatal("-checkpoint supports batch runs over a materialized trace; streamed runs are not resumable")
+	}
 
 	if *stream {
 		if *traceFile != "" {
@@ -169,15 +194,25 @@ func main() {
 		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
 	}
 
-	runBatch(ctx, cfg, tr, *shards, *series)
+	runBatch(ctx, cfg, tr, *shards, *series, *checkpointPath, *checkpointEvery)
 }
 
 // runBatch replays one materialized trace through a Session the command owns
 // (rather than the Run wrapper), so an interrupt can surface a final
-// snapshot of the partial run before exiting.
-func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards int, series bool) {
-	s, err := hierdrl.NewSession(cfg,
-		hierdrl.WithShards(shards), hierdrl.WithContext(ctx))
+// snapshot of the partial run — and, with -checkpoint, flush a resumable
+// snapshot file — before exiting.
+func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards int, series bool, ckpt string, every int) {
+	opts := []hierdrl.SessionOption{hierdrl.WithShards(shards)}
+	if ckpt == "" {
+		// Without checkpointing the context latches cancellation inside the
+		// session (Drain returns it); with checkpointing the drive loop polls
+		// the context itself, so the session stays consistent and resumable
+		// at the instant the final snapshot is flushed.
+		opts = append(opts, hierdrl.WithContext(ctx))
+	} else {
+		opts = append(opts, hierdrl.WithAutoCheckpoint(ckpt, every))
+	}
+	s, err := hierdrl.NewSession(cfg, opts...)
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}
@@ -185,7 +220,9 @@ func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards
 	if err := s.SubmitTrace(tr); err != nil {
 		log.Fatalf("submit: %v", err)
 	}
-	if err := s.Drain(); err != nil {
+	if ckpt != "" {
+		driveCheckpointed(ctx, s, ckpt)
+	} else if err := s.Drain(); err != nil {
 		if ctx.Err() != nil {
 			exitInterrupted(s)
 		}
@@ -196,6 +233,92 @@ func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards
 		log.Fatalf("result: %v", err)
 	}
 	printResult(res, series)
+}
+
+// runResume restores a session from a snapshot file and drives it to
+// completion, checkpointing onward to ckpt (or back over the source file if
+// -checkpoint was not given) so a resumed run remains interruptible.
+func runResume(ctx context.Context, from, ckpt string, every int, series bool) {
+	if ckpt == "" {
+		ckpt = from
+	}
+	f, err := os.Open(from)
+	if err != nil {
+		log.Fatalf("open snapshot: %v", err)
+	}
+	s, err := hierdrl.Restore(f, hierdrl.WithAutoCheckpoint(ckpt, every))
+	cerr := f.Close()
+	if err != nil {
+		log.Fatalf("restore: %v", err)
+	}
+	if cerr != nil {
+		log.Fatalf("close snapshot: %v", cerr)
+	}
+	defer s.Close()
+	driveCheckpointed(ctx, s, ckpt)
+	res, err := s.Result()
+	if err != nil {
+		log.Fatalf("result: %v", err)
+	}
+	printResult(res, series)
+}
+
+// driveCheckpointed advances the session to completion, mirroring Drain's
+// stop conditions (idle engine; drained accounting on fault runs, whose
+// crash/repair timers never exhaust the queue), while polling the signal
+// context so an interrupt flushes one final snapshot and exits resumable.
+func driveCheckpointed(ctx context.Context, s *hierdrl.Session, ckpt string) {
+	done := ctx.Done()
+	faulty := s.FaultsEnabled()
+	for i := 0; ; i++ {
+		if i&255 == 0 {
+			select {
+			case <-done:
+				if err := flushCheckpoint(s, ckpt); err != nil {
+					log.Fatalf("final checkpoint: %v", err)
+				}
+				fmt.Printf("\ninterrupted — snapshot flushed; resume with -resume %s\n", ckpt)
+				os.Exit(0)
+			default:
+			}
+		}
+		if faulty && s.Drained() {
+			return
+		}
+		more, err := s.Step()
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// flushCheckpoint writes one snapshot atomically: serialize next to the
+// target, fsync, then rename into place, so a crash mid-flush never
+// clobbers the last periodic snapshot.
+func flushCheckpoint(s *hierdrl.Session, path string) error {
+	tmp := path + ".final.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // exitInterrupted prints a final snapshot of a canceled session and exits

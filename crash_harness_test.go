@@ -1,0 +1,74 @@
+package hierdrl_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashResumeHarnessCLI is the end-to-end crash drill: build hiersim,
+// run it with periodic checkpointing, SIGKILL it mid-run (no cleanup, no
+// signal handler — a real crash), resume from the snapshot file, and require
+// the resumed run's printed summary to be byte-identical to an uninterrupted
+// reference run.
+func TestCrashResumeHarnessCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills child processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hiersim")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hiersim")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build hiersim: %v\n%s", err, out)
+	}
+
+	args := []string{"-system", "round-robin", "-servers", "8", "-jobs", "40000", "-seed", "5"}
+
+	var refOut bytes.Buffer
+	ref := exec.Command(bin, args...)
+	ref.Stdout = &refOut
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	ck := filepath.Join(dir, "crash.ckpt")
+	var crashOut bytes.Buffer
+	crash := exec.Command(bin, append(append([]string{}, args...),
+		"-checkpoint", ck, "-checkpoint-every", "300")...)
+	crash.Stdout = &crashOut
+	if err := crash.Start(); err != nil {
+		t.Fatalf("start checkpointed run: %v", err)
+	}
+	// Kill the instant the first snapshot generation lands. If the run
+	// finishes before we can kill it, the final snapshot still resumes (to a
+	// no-op drain), so the comparison below stays valid either way.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ck); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			crash.Process.Kill()
+			crash.Wait()
+			t.Fatalf("no snapshot appeared within 30s; partial output:\n%s", crashOut.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	crash.Process.Signal(syscall.SIGKILL)
+	crash.Wait() // exit state is irrelevant — the snapshot file is the contract
+
+	var resOut bytes.Buffer
+	res := exec.Command(bin, "-resume", ck)
+	res.Stdout = &resOut
+	if err := res.Run(); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if !bytes.Equal(refOut.Bytes(), resOut.Bytes()) {
+		t.Fatalf("resumed output differs from uninterrupted reference\n--- reference ---\n%s--- resumed ---\n%s",
+			refOut.String(), resOut.String())
+	}
+}

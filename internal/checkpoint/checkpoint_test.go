@@ -1,0 +1,202 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func buildSnapshot(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter(0xDEADBEEFCAFE)
+	a := w.Section("alpha")
+	a.U8(7)
+	a.Bool(true)
+	a.U32(123456)
+	a.I64(-42)
+	a.F64(math.Pi)
+	a.F64(math.Copysign(0, -1))
+	a.Str("hello, snapshot")
+	a.F64s([]float64{1.5, -2.5, math.Inf(1)})
+	a.I64s([]int64{9, -9})
+	a.Ints([]int{3, 1, 4})
+	a.Bytes([]byte{0xAA, 0xBB})
+	b := w.Section("beta")
+	b.Int(99)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	raw := buildSnapshot(t)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.Fingerprint() != 0xDEADBEEFCAFE {
+		t.Fatalf("fingerprint = %#x", r.Fingerprint())
+	}
+	if got := r.Sections(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("sections = %v", got)
+	}
+
+	d, err := r.Section("alpha")
+	if err != nil {
+		t.Fatalf("Section(alpha): %v", err)
+	}
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if !d.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if v := d.U32(); v != 123456 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := d.F64(); math.Float64bits(v) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("negative zero lost: %v", v)
+	}
+	if v := d.Str(); v != "hello, snapshot" {
+		t.Fatalf("Str = %q", v)
+	}
+	fs := d.F64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || !math.IsInf(fs[2], 1) {
+		t.Fatalf("F64s = %v", fs)
+	}
+	is := d.I64s()
+	if len(is) != 2 || is[0] != 9 || is[1] != -9 {
+		t.Fatalf("I64s = %v", is)
+	}
+	ints := d.Ints()
+	if len(ints) != 3 || ints[0] != 3 || ints[2] != 4 {
+		t.Fatalf("Ints = %v", ints)
+	}
+	bs := d.Bytes()
+	if len(bs) != 2 || bs[0] != 0xAA || bs[1] != 0xBB {
+		t.Fatalf("Bytes = %v", bs)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err after full decode: %v", err)
+	}
+
+	d2, err := r.Section("beta")
+	if err != nil {
+		t.Fatalf("Section(beta): %v", err)
+	}
+	if v := d2.Int(); v != 99 {
+		t.Fatalf("beta Int = %d", v)
+	}
+	if err := d2.Err(); err != nil {
+		t.Fatalf("beta Err: %v", err)
+	}
+}
+
+func TestDecStickyErrors(t *testing.T) {
+	d := &Dec{name: "t", buf: []byte{1, 2}}
+	_ = d.U64() // overruns
+	if err := d.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("overrun err = %v", err)
+	}
+	// Subsequent reads stay zero, error stays latched.
+	if v := d.I64(); v != 0 {
+		t.Fatalf("read after error = %d", v)
+	}
+	if err := d.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("latched err = %v", err)
+	}
+}
+
+func TestDecTrailingBytes(t *testing.T) {
+	d := &Dec{name: "t", buf: []byte{1, 0, 0, 0, 0, 0, 0, 0, 0xFF}}
+	_ = d.U64()
+	if err := d.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes err = %v", err)
+	}
+}
+
+func TestDecInvalidSliceLength(t *testing.T) {
+	// Length prefix claims 2^40 floats in a tiny payload.
+	e := &Enc{}
+	e.I64(1 << 40)
+	d := &Dec{name: "t", buf: e.buf}
+	if v := d.F64s(); v != nil {
+		t.Fatalf("F64s on bad length = %v", v)
+	}
+	if err := d.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad length err = %v", err)
+	}
+}
+
+func TestDecF64sInto(t *testing.T) {
+	e := &Enc{}
+	e.F64s([]float64{1, 2, 3})
+	d := &Dec{name: "t", buf: e.buf}
+	dst := make([]float64, 3)
+	d.F64sInto(dst)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("F64sInto = %v", dst)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	// Length mismatch fails.
+	d2 := &Dec{name: "t", buf: e.buf}
+	d2.F64sInto(make([]float64, 2))
+	if err := d2.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched F64sInto err = %v", err)
+	}
+}
+
+// Table-driven corruption classes at the container layer: each mutation of a
+// valid snapshot must be rejected with the right sentinel.
+func TestReaderRejectsMutations(t *testing.T) {
+	valid := buildSnapshot(t)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"truncated header", func(b []byte) []byte { return b[:5] }, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrCorrupt},
+		{"future version", func(b []byte) []byte { b[8] = 0xEE; return b }, ErrVersion},
+		{"truncated table", func(b []byte) []byte { return b[:len(Magic)+4+8+4+1] }, ErrCorrupt},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrCorrupt},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)-3] ^= 0x10; return b }, ErrCorrupt},
+		{"crc field flip", func(b []byte) []byte {
+			// Flip a byte in the middle of the section table (CRC or length
+			// field of a section entry).
+			b[len(Magic)+4+8+4+2+len("alpha")+9] ^= 0x01
+			return b
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mut(append([]byte(nil), valid...))
+			_, err := NewReader(bytes.NewReader(mutated))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(buildSnapshot(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Section("gamma"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing section err = %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+package fault
+
+import (
+	"hierdrl/internal/checkpoint"
+)
+
+// SaveState implements checkpoint.Stateful: the clock is its RNG chain —
+// rates are construction config.
+func (c *expClock) SaveState(e *checkpoint.Enc) { checkpoint.SaveRNG(e, c.rng) }
+
+// RestoreState implements checkpoint.Stateful.
+func (c *expClock) RestoreState(d *checkpoint.Dec) error {
+	return checkpoint.RestoreRNG(d, c.rng)
+}
+
+// CheckpointStateless marks the retry policies: a job's fate depends only on
+// (now, job, attempt), never on prior calls.
+func (Immediate) CheckpointStateless() {}
+func (Backoff) CheckpointStateless()   {}
+func (DropAfter) CheckpointStateless() {}
+
+var (
+	_ checkpoint.Stateful  = (*expClock)(nil)
+	_ checkpoint.Stateless = Immediate{}
+	_ checkpoint.Stateless = Backoff{}
+	_ checkpoint.Stateless = DropAfter{}
+)

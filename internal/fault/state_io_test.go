@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hierdrl/internal/checkpoint"
+)
+
+// TestExpClockRoundTrip: a restored failure clock continues its draw
+// sequence bitwise — the post-restore crash/repair schedule is exactly the
+// one the interrupted run would have produced.
+func TestExpClockRoundTrip(t *testing.T) {
+	m, err := NewExpCrash(42, 3600, 300)
+	if err != nil {
+		t.Fatalf("NewExpCrash: %v", err)
+	}
+	c1 := m.ClockFor(5).(*expClock)
+	// Advance the chain mid-alternation.
+	for i := 0; i < 7; i++ {
+		c1.NextFailure()
+		c1.NextRepair()
+	}
+
+	w := checkpoint.NewWriter(0)
+	checkpoint.SaveComponent(w.Section("clock"), c1)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	// Restore into a clock from an unrelated seed: every construction draw
+	// must be overwritten by the replayed chain.
+	m2, err := NewExpCrash(999, 3600, 300)
+	if err != nil {
+		t.Fatalf("NewExpCrash: %v", err)
+	}
+	c2 := m2.ClockFor(0).(*expClock)
+	c2.NextFailure()
+	rd, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	d, err := rd.Section("clock")
+	if err != nil {
+		t.Fatalf("Section: %v", err)
+	}
+	if err := checkpoint.RestoreComponent(d, c2); err != nil {
+		t.Fatalf("RestoreComponent: %v", err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+
+	for i := 0; i < 10; i++ {
+		f1, f2 := c1.NextFailure(), c2.NextFailure()
+		r1, r2 := c1.NextRepair(), c2.NextRepair()
+		if math.Float64bits(f1) != math.Float64bits(f2) || math.Float64bits(r1) != math.Float64bits(r2) {
+			t.Fatalf("draw %d diverges: failure %v vs %v, repair %v vs %v", i, f1, f2, r1, r2)
+		}
+	}
+}
+
+// TestRetryPoliciesAreStateless pins the checkpoint contract of the retry
+// policies: pure functions of (now, job, attempt) serialize as stateless.
+func TestRetryPoliciesAreStateless(t *testing.T) {
+	for _, p := range []any{Immediate{}, Backoff{}, DropAfter{}} {
+		if _, ok := p.(checkpoint.Stateless); !ok {
+			t.Fatalf("%T must be checkpoint.Stateless", p)
+		}
+		if _, ok := p.(checkpoint.Stateful); ok {
+			t.Fatalf("%T must not also be Stateful", p)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package local
+
+import (
+	"hierdrl/internal/checkpoint"
+)
+
+// CheckpointStateless marks the constant policies: their behavior is a pure
+// function of construction parameters, so a snapshot records nothing.
+func (AlwaysOn) CheckpointStateless()     {}
+func (AdHoc) CheckpointStateless()        {}
+func (FixedTimeout) CheckpointStateless() {}
+
+// SaveState implements checkpoint.Stateful: the learned Q-table, the
+// epsilon schedule and its RNG, the open sojourn, and the nested arrival
+// predictor (which must itself be checkpointable).
+func (m *RLTimeout) SaveState(e *checkpoint.Enc) {
+	m.table.SaveState(e)
+	m.eps.SaveState(e)
+	checkpoint.SaveRNG(e, m.eps.RNG())
+	m.integ.SaveState(e)
+	e.F64(m.lastPower)
+	e.Int(m.lastJQ)
+	e.Bool(m.hasPending)
+	e.Str(m.pendingState)
+	e.Int(m.pendingAction)
+	e.I64(m.decisions)
+	e.I64(m.updates)
+	checkpoint.SaveComponent(e, m.pred)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (m *RLTimeout) RestoreState(d *checkpoint.Dec) error {
+	if err := m.table.RestoreState(d); err != nil {
+		return err
+	}
+	if err := m.eps.RestoreState(d); err != nil {
+		return err
+	}
+	if err := checkpoint.RestoreRNG(d, m.eps.RNG()); err != nil {
+		return err
+	}
+	if err := m.integ.RestoreState(d); err != nil {
+		return err
+	}
+	m.lastPower = d.F64()
+	m.lastJQ = d.Int()
+	m.hasPending = d.Bool()
+	m.pendingState = d.Str()
+	m.pendingAction = d.Int()
+	m.decisions = d.I64()
+	m.updates = d.I64()
+	return checkpoint.RestoreComponent(d, m.pred)
+}
+
+// SaveState implements checkpoint.Stateful.
+func (p *LastValue) SaveState(e *checkpoint.Enc) {
+	e.F64(p.last)
+	e.F64(p.lastGap)
+	e.Int(p.seen)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (p *LastValue) RestoreState(d *checkpoint.Dec) error {
+	p.last = d.F64()
+	p.lastGap = d.F64()
+	p.seen = d.Int()
+	return nil
+}
+
+// SaveState implements checkpoint.Stateful.
+func (p *EWMA) SaveState(e *checkpoint.Enc) {
+	e.F64(p.last)
+	e.F64(p.est)
+	e.Int(p.seen)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (p *EWMA) RestoreState(d *checkpoint.Dec) error {
+	p.last = d.F64()
+	p.est = d.F64()
+	p.seen = d.Int()
+	return nil
+}
+
+// SaveState implements checkpoint.Stateful.
+func (p *WindowMean) SaveState(e *checkpoint.Enc) {
+	e.F64s(p.window)
+	e.F64(p.last)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (p *WindowMean) RestoreState(d *checkpoint.Dec) error {
+	p.window = d.F64s()
+	p.last = d.F64()
+	return nil
+}
+
+var (
+	_ checkpoint.Stateless = AlwaysOn{}
+	_ checkpoint.Stateless = AdHoc{}
+	_ checkpoint.Stateless = FixedTimeout{}
+	_ checkpoint.Stateful  = (*RLTimeout)(nil)
+	_ checkpoint.Stateful  = (*LastValue)(nil)
+	_ checkpoint.Stateful  = (*EWMA)(nil)
+	_ checkpoint.Stateful  = (*WindowMean)(nil)
+)

@@ -8,13 +8,61 @@ import (
 // RNG wraps math/rand with the sampling helpers the library needs. Every
 // stochastic component takes an explicit *RNG so experiments are exactly
 // reproducible from a seed.
+//
+// The underlying source is wrapped in a draw counter, which makes the full
+// generator state serializable as the pair (seed, draws): every Int63/Uint64
+// the source serves advances its internal state by exactly one step, and
+// rand.Rand keeps no state of its own outside the source (the Read buffer is
+// never used here). Restore re-seeds and replays that many source steps, so
+// a restored chain continues bit-for-bit where the saved one stopped.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	seed int64
+	src  countingSource // by value: the counter rides in the RNG's allocation
 }
+
+// countingSource wraps a Source64 and counts every draw. It must implement
+// Source64: rand.Rand then routes all draws through Uint64/Int63 directly,
+// one source step per call, exactly as with the bare source.
+type countingSource struct {
+	src rand.Source64
+	n   int64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.n = 0; c.src.Seed(seed) }
 
 // NewRNG returns a deterministic RNG seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	g := &RNG{seed: seed}
+	g.src.src = rand.NewSource(seed).(rand.Source64)
+	g.r = rand.New(&g.src)
+	return g
+}
+
+// State returns the serializable generator state: the construction seed and
+// the number of source draws served since (re)seeding. The pair fully
+// determines the stream position.
+func (g *RNG) State() (seed, draws int64) { return g.seed, g.src.n }
+
+// Restore rewinds this generator to the given (seed, draws) state in place:
+// the source is re-seeded and fast-forwarded draw by draw (~5 ns per step),
+// after which the generator produces the exact continuation of the saved
+// stream. In-place restoration matters: components hold *RNG fields, so no
+// pointer replumbing is needed.
+func (g *RNG) Restore(seed, draws int64) {
+	if draws < 0 {
+		panic("mat: RNG.Restore negative draw count")
+	}
+	g.seed = seed
+	g.src.src.Seed(seed)
+	for i := int64(0); i < draws; i++ {
+		g.src.src.Uint64()
+	}
+	g.src.n = draws
 }
 
 // Float64 returns a uniform sample in [0, 1).

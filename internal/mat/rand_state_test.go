@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The counting wrapper must be invisible: every draw sequence has to match
+// a bare math/rand generator with the same seed, because the repository's
+// golden results pin those exact streams.
+func TestRNGMatchesBareMathRand(t *testing.T) {
+	g := NewRNG(42)
+	ref := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		switch i % 6 {
+		case 0:
+			if a, b := g.Float64(), ref.Float64(); a != b {
+				t.Fatalf("Float64 draw %d: %v != %v", i, a, b)
+			}
+		case 1:
+			if a, b := g.Intn(97), ref.Intn(97); a != b {
+				t.Fatalf("Intn draw %d: %d != %d", i, a, b)
+			}
+		case 2:
+			if a, b := g.Int63(), ref.Int63(); a != b {
+				t.Fatalf("Int63 draw %d: %d != %d", i, a, b)
+			}
+		case 3:
+			if a, b := g.Normal(1, 2), 1+2*ref.NormFloat64(); a != b {
+				t.Fatalf("Normal draw %d: %v != %v", i, a, b)
+			}
+		case 4:
+			if a, b := g.Exponential(0.5), ref.ExpFloat64()/0.5; a != b {
+				t.Fatalf("Exponential draw %d: %v != %v", i, a, b)
+			}
+		case 5:
+			ap, bp := g.Perm(7), ref.Perm(7)
+			for k := range ap {
+				if ap[k] != bp[k] {
+					t.Fatalf("Perm draw %d: %v != %v", i, ap, bp)
+				}
+			}
+		}
+	}
+}
+
+// Saving mid-stream and restoring into a fresh generator must continue the
+// stream bit for bit, across every sampler (including the variable-draw
+// ziggurat samplers).
+func TestRNGStateRoundTrip(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1234; i++ {
+		g.Normal(0, 1)
+		g.Float64()
+		g.Exponential(1)
+	}
+	seed, draws := g.State()
+	if seed != 7 {
+		t.Fatalf("seed = %d, want 7", seed)
+	}
+
+	h := NewRNG(1) // deliberately different construction seed
+	h.Restore(seed, draws)
+	if s2, d2 := h.State(); s2 != seed || d2 != draws {
+		t.Fatalf("restored state (%d,%d) != saved (%d,%d)", s2, d2, seed, draws)
+	}
+	for i := 0; i < 2000; i++ {
+		if a, b := g.Normal(3, 0.5), h.Normal(3, 0.5); a != b {
+			t.Fatalf("Normal draw %d after restore: %v != %v", i, a, b)
+		}
+		if a, b := g.Intn(1000), h.Intn(1000); a != b {
+			t.Fatalf("Intn draw %d after restore: %d != %d", i, a, b)
+		}
+	}
+}
+
+// Split children must carry their own (seed, draws) state independent of the
+// parent's.
+func TestRNGSplitState(t *testing.T) {
+	g := NewRNG(99)
+	child := g.Split()
+	child.Float64()
+	child.Float64()
+	seed, draws := child.State()
+
+	clone := NewRNG(0)
+	clone.Restore(seed, draws)
+	for i := 0; i < 100; i++ {
+		if a, b := child.Float64(), clone.Float64(); a != b {
+			t.Fatalf("split child draw %d: %v != %v", i, a, b)
+		}
+	}
+	if draws == 0 {
+		t.Fatal("child draws not counted")
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"hierdrl/internal/checkpoint"
+	"hierdrl/internal/sim"
+)
+
+// SaveState serializes the accumulated measurements: per-job samples, the
+// checkpoint series, and the fault tallies. The cluster reference and the
+// callbacks are wiring, re-established at restore.
+func (c *Collector) SaveState(e *checkpoint.Enc) {
+	e.F64(c.accLatency)
+	e.F64s(c.waits)
+	e.F64s(c.latencies)
+	e.Int(c.completed)
+	e.Int(len(c.checkpoints))
+	for _, cp := range c.checkpoints {
+		e.Int(cp.Jobs)
+		e.F64(cp.Time.Seconds())
+		e.F64(cp.AccLatencySec)
+		e.F64(cp.EnergykWh)
+	}
+	e.I64(c.interrupted)
+	e.I64(c.retried)
+	e.I64(c.lost)
+	e.F64(c.lostWork)
+}
+
+// RestoreState reads what SaveState wrote. checkpointEvery is construction
+// config and is not touched.
+func (c *Collector) RestoreState(d *checkpoint.Dec) error {
+	c.accLatency = d.F64()
+	c.waits = d.F64s()
+	c.latencies = d.F64s()
+	c.completed = d.Int()
+	n := d.SliceLen(32) // 4 fixed 8-byte fields per checkpoint
+	if err := d.Sticky(); err != nil {
+		return err
+	}
+	c.checkpoints = c.checkpoints[:0]
+	for i := 0; i < n; i++ {
+		c.checkpoints = append(c.checkpoints, Checkpoint{
+			Jobs:          d.Int(),
+			Time:          sim.Time(d.F64()),
+			AccLatencySec: d.F64(),
+			EnergykWh:     d.F64(),
+		})
+	}
+	c.interrupted = d.I64()
+	c.retried = d.I64()
+	c.lost = d.I64()
+	c.lostWork = d.F64()
+	return d.Sticky()
+}

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"fmt"
+
+	"hierdrl/internal/checkpoint"
+)
+
+// SaveState serializes the optimizer's step count and moment buffers. The
+// moment buffers are lazily allocated on the first Step, so a never-stepped
+// optimizer round-trips as (t=0, no buffers).
+func (a *Adam) SaveState(e *checkpoint.Enc) {
+	e.Int(a.t)
+	e.Int(len(a.m))
+	for i := range a.m {
+		e.F64s(a.m[i])
+		e.F64s(a.v[i])
+	}
+}
+
+// RestoreState reads what SaveState wrote, replacing the optimizer's
+// trajectory state. Hyperparameters (LR, betas, eps) are construction
+// config and are not touched.
+func (a *Adam) RestoreState(d *checkpoint.Dec) error {
+	a.t = d.Int()
+	n := d.Int()
+	if err := d.Sticky(); err != nil {
+		return err
+	}
+	if n < 0 || n > 1<<20 {
+		return fmt.Errorf("%w: Adam moment tensor count %d", checkpoint.ErrCorrupt, n)
+	}
+	if n == 0 {
+		a.m, a.v = nil, nil
+		return nil
+	}
+	a.m = make([][]float64, n)
+	a.v = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a.m[i] = d.F64s()
+		a.v[i] = d.F64s()
+	}
+	return d.Sticky()
+}

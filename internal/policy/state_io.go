@@ -1,0 +1,33 @@
+package policy
+
+import (
+	"hierdrl/internal/checkpoint"
+)
+
+// SaveState implements checkpoint.Stateful: the cyclic cursor.
+func (r *RoundRobin) SaveState(e *checkpoint.Enc) { e.Int(r.next) }
+
+// RestoreState implements checkpoint.Stateful.
+func (r *RoundRobin) RestoreState(d *checkpoint.Dec) error {
+	r.next = d.Int()
+	return nil
+}
+
+// SaveState implements checkpoint.Stateful: the draw chain.
+func (r *Random) SaveState(e *checkpoint.Enc) { checkpoint.SaveRNG(e, r.rng) }
+
+// RestoreState implements checkpoint.Stateful.
+func (r *Random) RestoreState(d *checkpoint.Dec) error {
+	return checkpoint.RestoreRNG(d, r.rng)
+}
+
+// CheckpointStateless marks the memoryless allocators.
+func (*LeastLoaded) CheckpointStateless() {}
+func (*PackFit) CheckpointStateless()     {}
+
+var (
+	_ checkpoint.Stateful  = (*RoundRobin)(nil)
+	_ checkpoint.Stateful  = (*Random)(nil)
+	_ checkpoint.Stateless = (*LeastLoaded)(nil)
+	_ checkpoint.Stateless = (*PackFit)(nil)
+)

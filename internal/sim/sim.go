@@ -94,6 +94,18 @@ func (tm Timer) Pending() bool {
 // At returns the instant the timer is (or was) scheduled for.
 func (tm Timer) At() Time { return tm.at }
 
+// Seq returns the sequence number of a pending timer. Together with At it
+// fully determines the timer's position in the event order, which is what a
+// checkpoint must preserve: restoring a timer with its exact (at, seq) key
+// reproduces the original firing order bit for bit. It panics on a fired,
+// cancelled, or zero timer — those have no meaningful sequence number.
+func (tm Timer) Seq() int64 {
+	if !tm.Pending() {
+		panic("sim: Seq on non-pending timer")
+	}
+	return tm.s.slots[tm.idx].seq
+}
+
 // minCompactLen keeps compaction from thrashing on tiny queues.
 const minCompactLen = 64
 
@@ -197,6 +209,64 @@ func (s *Simulator) schedule(at Time, fn func(any), arg any, seq int64) Timer {
 	s.live++
 	s.heapPush(idx)
 	return Timer{s: s, idx: idx, gen: sl.gen, at: at}
+}
+
+// RestoreBegin resets the simulator to an empty queue positioned at a
+// checkpointed instant: clock at now, lane counters at the saved seq/prioSeq,
+// and the fired count at nFired. Existing slots are released (outstanding
+// handles are invalidated via the generation bump) but the arena itself is
+// kept, so restoration reuses the allocation. Callers follow up with one
+// ScheduleRestored per live checkpointed timer.
+func (s *Simulator) RestoreBegin(now Time, seq, prioSeq, nFired int64) {
+	for _, idx := range s.heap {
+		if s.slots[idx].cancelled {
+			s.nCancelled--
+		} else {
+			s.live--
+		}
+		s.release(idx)
+	}
+	s.heap = s.heap[:0]
+	if s.live != 0 || s.nCancelled != 0 {
+		panic("sim: RestoreBegin bookkeeping mismatch")
+	}
+	s.now = now
+	s.seq = seq
+	s.prioSeq = prioSeq
+	s.nFired = nFired
+}
+
+// ScheduleRestored re-registers a checkpointed timer with its exact original
+// (at, seq) key, without advancing either lane counter — the counters were
+// already restored wholesale by RestoreBegin. Unlike Schedule it accepts
+// at == now with any seq relation, since a restored queue legitimately holds
+// same-instant events from both lanes.
+func (s *Simulator) ScheduleRestored(at Time, seq int64, fn func(any), arg any) Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: ScheduleRestored in the past: %v < now %v", at, s.now))
+	}
+	return s.schedule(at, fn, arg, seq)
+}
+
+// Counters returns the lane's monotone bookkeeping — the next normal and
+// priority sequence numbers and the fired-event count — exactly the values a
+// later RestoreBegin needs to reproduce this lane's scheduling behavior.
+func (s *Simulator) Counters() (seq, prioSeq, nFired int64) {
+	return s.seq, s.prioSeq, s.nFired
+}
+
+// ForEachPending calls fn for every scheduled, non-cancelled event, in
+// unspecified (heap) order. Checkpointing uses it to discover live events
+// whose owners keep no external handle (job completion timers on fault-free
+// runs); callers needing a canonical order sort by seq.
+func (s *Simulator) ForEachPending(fn func(at Time, seq int64, cb func(any), arg any)) {
+	for _, idx := range s.heap {
+		sl := &s.slots[idx]
+		if sl.cancelled {
+			continue
+		}
+		fn(sl.at, sl.seq, sl.fn, sl.arg)
+	}
 }
 
 // release returns a popped slot to the free list, invalidating outstanding

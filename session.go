@@ -56,6 +56,8 @@ type sessionOptions struct {
 	ctx        context.Context
 	expectJobs int
 	shards     int
+	autoPath   string
+	autoEvery  int
 }
 
 // SessionOption configures NewSession.
@@ -149,6 +151,10 @@ type Session struct {
 
 	// sr drives the parallel tier (nil in the strict tier).
 	sr *shardRunner
+
+	// auto is the periodic snapshot-to-disk layer (nil unless configured
+	// with WithAutoCheckpoint, leaving one never-taken nil check per epoch).
+	auto *autoCheckpoint
 
 	// Fault layer (all nil/zero when Config.Faults is FaultNone, leaving
 	// every fault branch below a never-taken nil check).
@@ -341,6 +347,13 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	}
 	if o.expectJobs > 0 {
 		s.Reserve(o.expectJobs)
+	}
+	if o.autoPath != "" {
+		every := int64(o.autoEvery)
+		if every < 1 {
+			every = 1
+		}
+		s.auto = &autoCheckpoint{path: o.autoPath, every: every, keep: autoKeep}
 	}
 	return s, nil
 }
@@ -672,7 +685,17 @@ func (s *Session) Step() (bool, error) {
 	}
 	if s.sr != nil {
 		ok, err := s.sr.step()
-		return ok, s.fail(err)
+		if err != nil {
+			return ok, s.fail(err)
+		}
+		if ok && s.auto != nil {
+			// Auto-checkpoint failures surface without latching: the run
+			// itself is consistent and the next boundary retries the write.
+			if aerr := s.autoTick(); aerr != nil {
+				return ok, aerr
+			}
+		}
+		return ok, nil
 	}
 	if err := s.ctxErr(); err != nil {
 		return false, s.fail(err)
@@ -680,7 +703,13 @@ func (s *Session) Step() (bool, error) {
 	if err := s.guard(); err != nil {
 		return false, s.fail(err)
 	}
-	return s.sm.Step(), nil
+	fired := s.sm.Step()
+	if fired && s.auto != nil {
+		if err := s.autoTick(); err != nil {
+			return true, err
+		}
+	}
+	return fired, nil
 }
 
 // StepUntil fires every event scheduled at or before t and advances the
@@ -694,7 +723,10 @@ func (s *Session) StepUntil(t Time) error {
 		return s.err
 	}
 	if s.sr != nil {
-		return s.fail(s.sr.stepUntil(t))
+		if err := s.fail(s.sr.stepUntil(t)); err != nil {
+			return err
+		}
+		return s.autoTick()
 	}
 	for i := 0; ; i++ {
 		if i&255 == 0 {
@@ -710,6 +742,11 @@ func (s *Session) StepUntil(t Time) error {
 			return s.fail(err)
 		}
 		s.sm.Step()
+		if s.auto != nil {
+			if err := s.autoTick(); err != nil {
+				return err
+			}
+		}
 	}
 	s.sm.Run(t) // queue is past t: just advances the clock to t
 	return nil
@@ -725,7 +762,23 @@ func (s *Session) Drain() error {
 		return s.err
 	}
 	if s.sr != nil {
-		return s.fail(s.sr.drainAll())
+		if s.auto == nil {
+			return s.fail(s.sr.drainAll())
+		}
+		// drainAll is exactly this loop minus the snapshot tick; the split
+		// keeps the common path's epoch loop free of the extra branch.
+		for {
+			more, err := s.sr.step()
+			if err != nil {
+				return s.fail(err)
+			}
+			if err := s.autoTick(); err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
 	}
 	for i := 0; ; i++ {
 		if i&255 == 0 {
@@ -743,6 +796,11 @@ func (s *Session) Drain() error {
 		}
 		if !s.sm.Step() {
 			return nil
+		}
+		if s.auto != nil {
+			if err := s.autoTick(); err != nil {
+				return err
+			}
 		}
 	}
 }
