@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke crash-smoke profile examples-smoke clean
+.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke crash-smoke scenario-smoke profile examples-smoke clean
 
 all: vet build test
 
@@ -71,6 +71,14 @@ chaos-smoke:
 crash-smoke:
 	$(GO) test -run 'TestCheckpointResumeBitwise|TestRestoreRejectsCorruptSnapshots|TestAutoCheckpointRotationAndResume|TestCrashResumeHarnessCLI' -v .
 
+# scenario-smoke is the workload-subsystem CI gate: every registered
+# scenario's Summary must be bitwise identical at P = 1/2/4 shards and run to
+# run, the scenario CSV round trip must replay bit for bit, and a single-class
+# speed-1.0 cluster must match the homogeneous cluster exactly — all under
+# the race detector.
+scenario-smoke:
+	$(GO) test -race -run 'TestScenarioBitwiseAcrossShards|TestScenarioCSVRoundTrip|TestHomogeneousClassesBitwiseIdentical' -v .
+
 # bench-full additionally regenerates the paper tables/figures benchmarks
 # (minutes, not seconds).
 bench-full:
@@ -86,6 +94,7 @@ examples-smoke:
 	$(GO) run ./examples/powermanager -jobs 150
 	$(GO) run ./examples/tradeoff -jobs 200 -warmup 50
 	$(GO) run ./examples/pluggable -jobs 200 -servers 4
+	$(GO) run ./examples/scenario -scenario mixed-het -jobs 400
 
 # profile writes CPU and allocation pprof profiles of the headline
 # experiment benchmark (inspect with `go tool pprof cpu.pprof`).

@@ -11,6 +11,15 @@
 //	hiersim -system round-robin -faults exp-crash -mttf 20000 -mttr 600 -retry backoff
 //	hiersim -system hierarchical -servers 30 -checkpoint run.ckpt -checkpoint-every 500
 //	hiersim -resume run.ckpt
+//	hiersim -list
+//	hiersim -scenario flashcrowd
+//	hiersim -scenario mixed-het -system hierarchical -servers 60 -jobs 40000 -shards 4
+//
+// -list prints every registered allocator, power manager, predictor, fault
+// model, retry policy, and workload scenario, then exits. -scenario runs a
+// registered scenario (cluster layout plus streamed workload); -servers and
+// -jobs rescale it when set explicitly, and -system picks the policy stack
+// (default fixed-timeout, the cheap non-learning baseline).
 //
 // The scale-10k system is the multi-core single-run preset: 10,000 servers,
 // 2M jobs streamed from the generator, least-loaded dispatch over the
@@ -76,7 +85,43 @@ func main() {
 	resume := flag.String("resume", "",
 		"resume a batch run from a snapshot written by -checkpoint "+
 			"(the config and workload come from the snapshot; system/trace flags are ignored)")
+	scenario := flag.String("scenario", "",
+		"run a registered workload scenario (see -list); -servers/-jobs rescale it when set explicitly")
+	list := flag.Bool("list", false,
+		"print registered allocators, power managers, predictors, fault models, retry policies, and scenarios, then exit")
 	flag.Parse()
+
+	if *list {
+		printRegistry()
+		return
+	}
+
+	var scen *hierdrl.Scenario
+	if *scenario != "" {
+		if *traceFile != "" || *stream || *resume != "" || *checkpointPath != "" {
+			log.Fatal("-scenario generates its own streamed workload; it cannot be combined with -trace, -stream, -resume, or -checkpoint")
+		}
+		sc, ok := hierdrl.LookupScenario(*scenario)
+		if !ok {
+			log.Fatalf("unknown scenario %q; registered: %s",
+				*scenario, strings.Join(hierdrl.Scenarios(), " "))
+		}
+		m, j := 0, 0
+		if flagWasSet("servers") {
+			m = *servers
+		}
+		if flagWasSet("jobs") {
+			j = *jobs
+		}
+		sc = sc.Scaled(m, j)
+		if !flagWasSet("system") {
+			// Scenarios compare workloads, not learners; default to the cheap
+			// non-learning baseline instead of a full hierarchical warmup.
+			*system = "fixed-timeout"
+		}
+		*servers = sc.M
+		scen = &sc
+	}
 
 	var cfg hierdrl.Config
 	switch *system {
@@ -134,6 +179,25 @@ func main() {
 	// signal (after stop restores the default handler) kills hard.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if scen != nil {
+		scen.ApplyTo(&cfg)
+		src, err := scen.Source(*seed)
+		if err != nil {
+			log.Fatalf("scenario: %v", err)
+		}
+		res, err := hierdrl.RunSource(cfg, src,
+			hierdrl.WithShards(*shards), hierdrl.WithContext(ctx))
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Println("interrupted — partial run discarded")
+				return
+			}
+			log.Fatalf("run: %v", err)
+		}
+		printResult(res, *series)
+		return
+	}
 
 	if *resume != "" {
 		if *stream {
@@ -328,6 +392,36 @@ func exitInterrupted(s *hierdrl.Session) {
 	printSnapHeader()
 	printSnap(s.Snapshot())
 	os.Exit(0)
+}
+
+// printRegistry lists every registered extension point, one entry per line
+// in sorted order, so scripts can discover what this build supports.
+func printRegistry() {
+	fmt.Println("allocators:")
+	for _, a := range hierdrl.Allocators() {
+		fmt.Printf("  %s\n", a)
+	}
+	fmt.Println("power managers:")
+	for _, p := range hierdrl.PowerManagers() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("predictors:")
+	for _, p := range hierdrl.Predictors() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("fault models:")
+	for _, f := range hierdrl.FaultModels() {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Println("retry policies:")
+	for _, r := range hierdrl.RetryPolicies() {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println("scenarios:")
+	for _, name := range hierdrl.Scenarios() {
+		sc, _ := hierdrl.LookupScenario(name)
+		fmt.Printf("  %-18s %s\n", name, sc.Description)
+	}
 }
 
 // flagWasSet reports whether the named flag was passed explicitly.

@@ -5,12 +5,17 @@
 //
 //	tracegen -jobs 95000 -servers 30 -seed 1 -out trace.csv
 //	tracegen -preset scale-10k -out scale.csv
+//	tracegen -scenario flashcrowd -out flash.csv
+//	tracegen -scenario heavytail -servers 60 -jobs 40000 | hiersim -stream -servers 60
 //
 // Omitting -out writes to stdout. The -servers flag scales the arrival rate
 // so the offered load matches the paper's 30-server operating point on a
 // cluster of that size. The scale-10k preset emits the sharded engine's
 // benchmark workload (2,000,000 jobs calibrated for 10,000 servers) through
-// the streaming generator, so it writes in constant memory.
+// the streaming generator, so it writes in constant memory. -scenario writes
+// a registered workload scenario's job stream (see hiersim -list), also in
+// constant memory; -servers/-jobs rescale the scenario when set explicitly,
+// and replaying the CSV reproduces a hiersim -scenario run bit for bit.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"hierdrl"
 )
@@ -33,8 +39,13 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	stats := flag.Bool("stats", false, "print workload statistics to stderr")
 	preset := flag.String("preset", "", `workload preset: "scale-10k" = 2,000,000 jobs calibrated for 10,000 servers, written streaming (overrides -jobs/-servers unless set explicitly)`)
+	scenario := flag.String("scenario", "",
+		"write a registered workload scenario's job stream (see hiersim -list); -servers/-jobs rescale it when set explicitly")
 	flag.Parse()
 
+	if *scenario != "" && *preset != "" {
+		log.Fatal("-scenario and -preset both pick a workload; use one")
+	}
 	switch *preset {
 	case "":
 	case "scale-10k":
@@ -52,7 +63,7 @@ func main() {
 	}
 
 	var tr *hierdrl.Trace
-	if *preset == "" {
+	if *preset == "" && *scenario == "" {
 		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
 	}
 
@@ -83,12 +94,34 @@ func main() {
 		return
 	}
 
-	// Preset mode: pull from the incremental generator and write rows as they
-	// are produced, tracking summary stats inline — a 2M-job trace never
-	// exists in memory.
-	src, err := hierdrl.ScaleStream(*jobs, *servers, *seed)
-	if err != nil {
-		log.Fatalf("generator: %v", err)
+	// Preset/scenario mode: pull from the incremental generator and write rows
+	// as they are produced, tracking summary stats inline — a 2M-job trace
+	// never exists in memory.
+	var src hierdrl.JobSource
+	if *scenario != "" {
+		sc, ok := hierdrl.LookupScenario(*scenario)
+		if !ok {
+			log.Fatalf("unknown scenario %q; registered: %s",
+				*scenario, strings.Join(hierdrl.Scenarios(), " "))
+		}
+		m, j := 0, 0
+		if flagWasSet("servers") {
+			m = *servers
+		}
+		if flagWasSet("jobs") {
+			j = *jobs
+		}
+		var err error
+		src, err = sc.Scaled(m, j).Source(*seed)
+		if err != nil {
+			log.Fatalf("scenario: %v", err)
+		}
+	} else {
+		var err error
+		src, err = hierdrl.ScaleStream(*jobs, *servers, *seed)
+		if err != nil {
+			log.Fatalf("generator: %v", err)
+		}
 	}
 	var n int
 	var span, durSum, cpuSum float64

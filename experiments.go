@@ -276,6 +276,69 @@ func RunFaultSweep(m int, sc Scale, mttfs []float64) ([]FaultPoint, error) {
 	return points, nil
 }
 
+// ScenarioPoint is one cell of the scenario sweep: an allocation policy run
+// on a registered scenario.
+type ScenarioPoint struct {
+	Scenario string
+	Alloc    AllocPolicy
+	Summary  Summary
+}
+
+// RunScenarioSweep runs every given allocation policy against every named
+// scenario — the allocators × scenarios table of EXPERIMENTS.md. Each cell
+// streams the scenario's workload through RunSource with a fixed-timeout
+// (60 s) local tier, on the scenario's own cluster layout (including
+// heterogeneous server classes). jobs > 0 caps each scenario's length (the
+// scale scenarios would otherwise stream millions of jobs); seed drives the
+// workload and every policy. Cells run concurrently through the worker pool;
+// points are ordered scenario-major, matching the input orders.
+func RunScenarioSweep(allocs []AllocPolicy, scenarios []string, jobs int, seed int64) ([]ScenarioPoint, error) {
+	if len(allocs) == 0 || len(scenarios) == 0 {
+		return nil, fmt.Errorf("hierdrl: empty scenario sweep")
+	}
+	scens := make([]Scenario, len(scenarios))
+	for i, name := range scenarios {
+		sc, ok := LookupScenario(name)
+		if !ok {
+			return nil, fmt.Errorf("hierdrl: unknown scenario %q", name)
+		}
+		scens[i] = sc.Scaled(0, jobs)
+	}
+	points := make([]ScenarioPoint, len(scenarios)*len(allocs))
+	tasks := make([]func() error, 0, len(points))
+	for si, scen := range scens {
+		for ai, alloc := range allocs {
+			si, ai, scen, alloc := si, ai, scen, alloc
+			tasks = append(tasks, func() error {
+				cfg := Config{
+					Name:            fmt.Sprintf("%s/%s", scen.Name, alloc),
+					Seed:            seed,
+					Alloc:           alloc,
+					DPM:             DPMFixedTimeout,
+					FixedTimeoutSec: 60,
+				}
+				scen.ApplyTo(&cfg)
+				src, err := scen.Source(seed)
+				if err != nil {
+					return err
+				}
+				res, err := RunSource(cfg, src)
+				if err != nil {
+					return fmt.Errorf("hierdrl: scenario sweep %s: %w", cfg.Name, err)
+				}
+				points[si*len(allocs)+ai] = ScenarioPoint{
+					Scenario: scen.Name, Alloc: alloc, Summary: res.Summary,
+				}
+				return nil
+			})
+		}
+	}
+	if err := runParallel(tasks); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
 // PredictorScore reports one predictor's accuracy on a held-out stream (the
 // X1 extension experiment motivating the LSTM choice of Sec. VI-A).
 type PredictorScore struct {

@@ -9,15 +9,42 @@ import (
 	"hierdrl/internal/sim"
 )
 
-// Config parameterizes a homogeneous cluster of M servers.
+// Config parameterizes a cluster of M servers. By default the cluster is
+// homogeneous (every server gets Server verbatim); a non-empty Classes list
+// partitions the machines into heterogeneous server classes instead.
 type Config struct {
 	// M is the number of physical servers (paper evaluates 30 and 40).
 	M int
-	// Server is the per-server configuration.
+	// Server is the per-server configuration. With Classes set it remains the
+	// template every class derives from (capacity, transition times, initial
+	// state), each class overriding only speed and power curve.
 	Server ServerConfig
 	// HotSpotThreshold is the utilization above which the reliability
 	// objective starts penalizing a server (hot-spot avoidance, Sec. V-A).
 	HotSpotThreshold float64
+	// Classes, when non-empty, declares heterogeneous server classes assigned
+	// to contiguous id ranges in declaration order (class 0 gets servers
+	// [0, Count0), class 1 the next Count1 ids, and so on). The counts must
+	// sum to exactly M. An empty list is the historical homogeneous cluster,
+	// bit for bit.
+	Classes []ServerClass
+}
+
+// ServerClass describes one heterogeneous slice of the cluster: Count
+// machines sharing a speed factor and a power curve. All other per-server
+// parameters (capacity, Ton/Toff, initial state) come from Config.Server.
+type ServerClass struct {
+	// Name labels the class in docs and tooling (optional).
+	Name string
+	// Count is how many servers belong to this class (must be positive).
+	Count int
+	// Speed is the relative execution-speed factor: a job of nominal duration
+	// D runs for D/Speed seconds on this class. Zero means 1.0 (nominal);
+	// 1.0 leaves service times bitwise unchanged (IEEE x/1.0 == x).
+	Speed float64
+	// Power is the class's power curve. A zero model inherits Config.Server's
+	// power model.
+	Power PowerModel
 }
 
 // DefaultConfig returns the paper's cluster calibration with M servers.
@@ -33,7 +60,56 @@ func (c Config) Validate() error {
 	if c.HotSpotThreshold <= 0 || c.HotSpotThreshold >= 1 {
 		return fmt.Errorf("cluster: HotSpotThreshold must be in (0,1), got %v", c.HotSpotThreshold)
 	}
-	return c.Server.Validate()
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	if len(c.Classes) == 0 {
+		return nil
+	}
+	total := 0
+	for i, cl := range c.Classes {
+		if cl.Count <= 0 {
+			return fmt.Errorf("cluster: class %d (%q) Count must be positive, got %d", i, cl.Name, cl.Count)
+		}
+		if cl.Speed < 0 || math.IsNaN(cl.Speed) || math.IsInf(cl.Speed, 0) {
+			return fmt.Errorf("cluster: class %d (%q) Speed must be a non-negative finite factor, got %v", i, cl.Name, cl.Speed)
+		}
+		if cl.Power != (PowerModel{}) {
+			if err := cl.Power.Validate(); err != nil {
+				return fmt.Errorf("cluster: class %d (%q): %w", i, cl.Name, err)
+			}
+		}
+		total += cl.Count
+	}
+	if total != c.M {
+		return fmt.Errorf("cluster: class counts sum to %d but M=%d", total, c.M)
+	}
+	return nil
+}
+
+// serverConfigFor derives server i's effective configuration: the shared
+// Server template with its class's speed factor and power curve applied.
+// Classes own contiguous id ranges in declaration order; with no classes the
+// template is returned verbatim (homogeneous cluster).
+func (c Config) serverConfigFor(i int) ServerConfig {
+	sc := c.Server
+	if len(c.Classes) == 0 {
+		return sc
+	}
+	lo := 0
+	for _, cl := range c.Classes {
+		if i < lo+cl.Count {
+			if cl.Speed != 0 {
+				sc.Speed = cl.Speed
+			}
+			if cl.Power != (PowerModel{}) {
+				sc.Power = cl.Power
+			}
+			return sc
+		}
+		lo += cl.Count
+	}
+	panic(fmt.Sprintf("cluster: server %d beyond class ranges (sum %d)", i, lo))
 }
 
 // shardGroup is one horizontal partition of the cluster: a contiguous server
@@ -194,7 +270,7 @@ func NewSharded(cfg Config, lanes []*sim.Simulator, dpmFactory func(serverID int
 	for i := 0; i < cfg.M; i++ {
 		dpm := dpmFactory(i)
 		g := &c.shards[c.shardOf[i]]
-		s, err := NewServer(i, g.sm, cfg.Server, dpm)
+		s, err := NewServer(i, g.sm, cfg.serverConfigFor(i), dpm)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
@@ -627,6 +703,12 @@ type View struct {
 	QueueLen []int        // waiting jobs per server
 	InSystem []int        // waiting + running per server
 	State    []PowerState // power mode per server
+	// Speed is each server's execution-speed factor (all 1.0 on a
+	// homogeneous cluster). Speeds are immutable after construction, so the
+	// slice is filled once when the view is first sized, never refreshed.
+	// Hand-built views may leave it nil; speed-aware allocators must treat
+	// nil as "all nominal".
+	Speed []float64
 }
 
 // Snapshot captures the current state of every server into a freshly
@@ -649,6 +731,12 @@ func (c *Cluster) SnapshotPrepare(v *View) {
 		v.QueueLen = make([]int, m)
 		v.InSystem = make([]int, m)
 		v.State = make([]PowerState, m)
+	}
+	if len(v.Speed) != m {
+		v.Speed = make([]float64, m)
+		for i, s := range c.servers {
+			v.Speed[i] = s.Speed()
+		}
 	}
 	v.M = m
 }

@@ -71,6 +71,11 @@ type ServerConfig struct {
 	ToffSeconds float64
 	// InitialState is the power mode at t=0 (default StateSleep).
 	InitialState PowerState
+	// Speed is the relative execution-speed factor: a job of nominal
+	// duration D occupies this server for D/Speed seconds. Zero means 1.0,
+	// and 1.0 leaves service times bitwise unchanged (IEEE x/1.0 == x), so
+	// homogeneous configurations reproduce historical results exactly.
+	Speed float64
 }
 
 // DefaultServerConfig returns the paper's calibration.
@@ -92,6 +97,9 @@ func (c ServerConfig) Validate() error {
 	if c.TonSeconds < 0 || c.ToffSeconds < 0 {
 		return fmt.Errorf("cluster: negative transition times Ton=%v Toff=%v",
 			c.TonSeconds, c.ToffSeconds)
+	}
+	if c.Speed < 0 || math.IsNaN(c.Speed) || math.IsInf(c.Speed, 0) {
+		return fmt.Errorf("cluster: Speed must be a non-negative finite factor, got %v", c.Speed)
 	}
 	for p, v := range c.Capacity {
 		if v <= 0 {
@@ -116,6 +124,7 @@ type Server struct {
 	dpm DPMPolicy
 
 	state PowerState
+	speed float64 // normalized execution-speed factor (cfg.Speed, 0 -> 1)
 	used  Resources
 	// queue is the FCFS wait line, consumed through qhead so steady-state
 	// push/pop reuses the backing array instead of re-slicing capacity away
@@ -186,12 +195,17 @@ func NewServer(id int, sm *sim.Simulator, cfg ServerConfig, dpm DPMPolicy) (*Ser
 	if st == 0 {
 		st = StateSleep
 	}
+	sp := cfg.Speed
+	if sp == 0 {
+		sp = 1
+	}
 	s := &Server{
 		id:    id,
 		sm:    sm,
 		cfg:   cfg,
 		dpm:   dpm,
 		state: st,
+		speed: sp,
 		lastT: sm.Now(),
 	}
 	s.lastPower = s.currentPower()
@@ -203,6 +217,9 @@ func (s *Server) ID() int { return s.id }
 
 // State returns the current power mode.
 func (s *Server) State() PowerState { return s.state }
+
+// Speed returns the normalized execution-speed factor (1.0 = nominal).
+func (s *Server) Speed() float64 { return s.speed }
 
 // QueueLen returns the number of jobs waiting (not yet granted resources).
 func (s *Server) QueueLen() int { return len(s.queue) - s.qhead }
@@ -436,7 +453,10 @@ func (s *Server) tryStart() {
 		head.Started = now
 		head.started = true
 		head.srv = s
-		head.done = s.sm.ScheduleAfterArg(head.Duration, jobComplete, head)
+		// Service time scales with the class speed factor; at the default
+		// speed 1.0 the division is exact, so homogeneous clusters schedule
+		// the historical instants bit for bit.
+		head.done = s.sm.ScheduleAfterArg(head.Duration/s.speed, jobComplete, head)
 		if s.fclock != nil {
 			head.runIdx = int32(len(s.runJobs))
 			s.runJobs = append(s.runJobs, head)

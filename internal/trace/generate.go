@@ -102,6 +102,33 @@ func (c GeneratorConfig) Validate() error {
 	return nil
 }
 
+// Source is a pull-based incremental job producer: Next returns the jobs of
+// a workload in arrival order until ok is false. *Stream implements it, as do
+// the composable generators in internal/workload; the streaming runners
+// accept any Source so multi-million-job workloads never materialize. A
+// Source is not safe for concurrent use.
+type Source interface {
+	Next() (Job, bool)
+}
+
+// Collect drains src into a materialized, validated Trace — for small
+// workloads, goldens, and round-trip tests (large workloads should stay
+// streamed).
+func Collect(src Source) (*Trace, error) {
+	t := &Trace{}
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: collected trace invalid: %w", err)
+	}
+	return t, nil
+}
+
 // Stream is the incremental form of Generate: it produces the exact job
 // sequence Generate would (same RNG draw order, bit for bit) one job at a
 // time, so multi-million-job workloads — the scale-10k preset streams >= 2M
@@ -133,6 +160,8 @@ func NewStream(cfg GeneratorConfig, seed int64) (*Stream, error) {
 
 // Produced returns the number of jobs generated so far.
 func (g *Stream) Produced() int { return g.produced }
+
+var _ Source = (*Stream)(nil)
 
 // Next returns the next job of the workload; ok is false once cfg.NumJobs
 // jobs have been produced.

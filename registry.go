@@ -2,6 +2,7 @@ package hierdrl
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"hierdrl/internal/cluster"
@@ -215,6 +216,35 @@ func registerRetryPolicy(name RetryKind, build RetryPolicyFactory, check func(*C
 	}
 	retryPols[name] = retryEntry{build: build, check: check}
 }
+
+// sortedNames returns a registry map's keys in sorted order. Listings are
+// the registry's discovery surface (hiersim -list), so the order is stable
+// regardless of registration order.
+func sortedNames[K ~string, V any](m map[K]V) []K {
+	registryMu.RLock()
+	names := make([]K, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	registryMu.RUnlock()
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Allocators returns every registered allocation-policy name, sorted.
+func Allocators() []AllocPolicy { return sortedNames(allocators) }
+
+// PowerManagers returns every registered power-manager name, sorted.
+func PowerManagers() []DPMKind { return sortedNames(powerMgrs) }
+
+// Predictors returns every registered predictor name, sorted.
+func Predictors() []PredictorKind { return sortedNames(predictors) }
+
+// FaultModels returns every registered fault-model name, sorted.
+func FaultModels() []FaultKind { return sortedNames(faultMdls) }
+
+// RetryPolicies returns every registered retry-policy name, sorted.
+func RetryPolicies() []RetryKind { return sortedNames(retryPols) }
 
 func lookupAllocator(name AllocPolicy) (allocEntry, bool) {
 	registryMu.RLock()

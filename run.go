@@ -73,7 +73,7 @@ func validate(cfg *Config) error {
 	// historically a partial override (M left zero) was silently replaced by
 	// the derived default, so a typoed override lost without a trace.
 	switch {
-	case cfg.Cluster == (cluster.Config{}):
+	case isZeroClusterConfig(cfg.Cluster):
 		cfg.Cluster = cluster.DefaultConfig(cfg.M)
 	case cfg.Cluster.M == 0:
 		return fmt.Errorf("hierdrl: partial Cluster override (M is zero but other fields are set); set Cluster.M = M or leave Cluster entirely zero")
@@ -97,6 +97,20 @@ func validate(cfg *Config) error {
 		cfg.LSTMPredictor = lstm.DefaultPredictorConfig()
 	}
 	return nil
+}
+
+// DefaultClusterConfig returns the paper-calibrated homogeneous cluster
+// configuration for m servers — the one Run derives when Config.Cluster is
+// left zero. Use it as the base for heterogeneous overrides: set .Classes to
+// a []ServerClass whose counts sum to m and assign it to Config.Cluster.
+func DefaultClusterConfig(m int) cluster.Config { return cluster.DefaultConfig(m) }
+
+// isZeroClusterConfig reports whether c is entirely unset (the "derive the
+// default cluster" sentinel). Config carries a Classes slice, so the struct
+// is no longer comparable and the zero check is spelled out field by field.
+func isZeroClusterConfig(c cluster.Config) bool {
+	return c.M == 0 && c.Server == (cluster.ServerConfig{}) &&
+		c.HotSpotThreshold == 0 && len(c.Classes) == 0
 }
 
 // warmup runs the Algorithm 1 offline construction phase: a high-epsilon

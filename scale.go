@@ -64,13 +64,24 @@ func ScaleStream(n, m int, seed int64) (*TraceStream, error) {
 // TraceStream re-exports the incremental workload generator.
 type TraceStream = trace.Stream
 
-// RunStreamed executes one run fed from an incremental job source in
-// bounded chunks: each chunk is submitted, then the clock is advanced to its
-// last arrival before the next chunk is pulled, so neither the workload nor
-// the pending queue ever materializes more than chunk+in-flight jobs. This
-// is how the scale-10k preset pushes >= 2M jobs through a 10k-server cluster
-// in a few hundred MB. Combine with WithShards(P) for the parallel tier.
+// RunStreamed executes one run fed from the classic incremental generator.
+// It is RunSource specialized to *TraceStream, kept for compatibility; both
+// stream in bounded chunks so the workload never materializes.
 func RunStreamed(cfg Config, src *TraceStream, opts ...SessionOption) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("hierdrl: nil job source")
+	}
+	return RunSource(cfg, src, opts...)
+}
+
+// RunSource executes one run fed from any incremental job source (a
+// *TraceStream, a scenario's WorkloadSource, or any JobSource) in bounded
+// chunks: each chunk is submitted, then the clock is advanced to its last
+// arrival before the next chunk is pulled, so neither the workload nor the
+// pending queue ever materializes more than chunk+in-flight jobs. This is
+// how the scale presets push >= 2M jobs through a 10k-server cluster in a
+// few hundred MB. Combine with WithShards(P) for the parallel tier.
+func RunSource(cfg Config, src JobSource, opts ...SessionOption) (*Result, error) {
 	if src == nil {
 		return nil, fmt.Errorf("hierdrl: nil job source")
 	}
