@@ -59,10 +59,12 @@ scale-smoke:
 	$(GO) run ./cmd/scalebench -shards 1,2 -m 2000 -jobs 200000
 
 # chaos-smoke is the fault-injection CI gate: the observer hammer (crash/
-# repair/retry hooks plus mid-run snapshots at P = 1/2/4) and the cross-run
-# bitwise reproducibility check, both under the race detector.
+# repair/retry/degrade/drain hooks plus mid-run snapshots at P = 1/2/4), the
+# cross-run bitwise reproducibility checks, and the fault-matrix smoke
+# (correlated-crash / degrade / maintenance-drain at P = 1/2, fingerprint-
+# pinned), all under the race detector.
 chaos-smoke:
-	$(GO) test -race -run 'TestFaultObserverHammer|TestFaultReproducibleAcrossRuns' -v .
+	$(GO) test -race -run 'TestFaultObserverHammer|TestFaultMatrixObserverHammer|TestFaultReproducibleAcrossRuns|TestNewFaultModelsReproducibleAcrossRuns' -v .
 
 # crash-smoke is the durability CI gate: the mid-run checkpoint/restore
 # bitwise matrix across both tiers (incl. fault runs), the corrupt-snapshot

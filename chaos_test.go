@@ -41,6 +41,57 @@ func TestFaultObserverHammer(t *testing.T) {
 	}
 }
 
+// TestFaultMatrixObserverHammer is the fault-matrix chaos smoke: the same
+// fully observed hammer as TestFaultObserverHammer, run over each of the
+// three topology-aware fault classes at P = 1 and 2 under the race detector.
+// Each model pins its own cross-run fingerprint (fingerprints are not
+// compared across models — the classes intentionally behave differently) and
+// must exercise its distinctive hooks (degrade edges, drain starts, domain
+// outages) so the smoke can't pass vacuously.
+func TestFaultMatrixObserverHammer(t *testing.T) {
+	tr := hierdrl.SyntheticTraceForCluster(1500, 8, 1)
+	cases := []struct {
+		name string
+		cfg  hierdrl.Config
+		ok   func(s hierdrl.Summary) bool
+	}{
+		{"correlated-crash", correlatedCfg(8), func(s hierdrl.Summary) bool {
+			return s.Failures > 0 && s.DomainOutages > 0
+		}},
+		{"degrade", degradeCfg(8), func(s hierdrl.Summary) bool {
+			return s.Failures > 0 && s.DegradedSec > 0
+		}},
+		{"maintenance-drain", drainCfg(8), func(s hierdrl.Summary) bool {
+			return s.Drains > 0
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range []int{1, 2} {
+				var ref uint64
+				for run := 0; run < 2; run++ {
+					fp, sum, err := hammerRun(tc.cfg, tr, p)
+					if err != nil {
+						t.Fatalf("P=%d run %d: %v", p, run, err)
+					}
+					if run == 0 {
+						ref = fp
+						if !tc.ok(sum) {
+							t.Fatalf("P=%d: hammer saw no %s activity (failures=%d drains=%d outages=%d degraded=%v); test is vacuous",
+								p, tc.name, sum.Failures, sum.Drains, sum.DomainOutages, sum.DegradedSec)
+						}
+						continue
+					}
+					if fp != ref {
+						t.Errorf("P=%d: observer fingerprints differ run to run: %#x vs %#x", p, ref, fp)
+					}
+				}
+			}
+		})
+	}
+}
+
 // hammerRun executes one observed fault run and reduces everything the hooks
 // saw — and a periodically refreshed snapshot — into one order-sensitive
 // fingerprint.
@@ -81,6 +132,12 @@ func hammerRun(cfg hierdrl.Config, tr *hierdrl.Trace, p int) (uint64, hierdrl.Su
 		OnJobRetry: func(at hierdrl.Time, jobID, attempt int, delaySec float64) {
 			mix(math.Float64bits(float64(at)), uint64(jobID), uint64(attempt),
 				math.Float64bits(delaySec))
+		},
+		OnServerDegrade: func(at hierdrl.Time, server int, factor float64) {
+			mix(math.Float64bits(float64(at)), uint64(server), math.Float64bits(factor), 0xDE64)
+		},
+		OnDrainStart: func(at hierdrl.Time, server int) {
+			mix(math.Float64bits(float64(at)), uint64(server), 0xD4A1)
 		},
 	}
 

@@ -240,6 +240,8 @@ func (s *Session) saveSessionState(e *checkpoint.Enc) {
 	e.I64(s.retried)
 	e.I64(s.lost)
 	e.F64(s.lostWork)
+	e.I64(s.migrated)
+	e.I64(s.domainOutages)
 }
 
 // Restore rebuilds a Session from a snapshot written by Checkpoint. The
@@ -553,12 +555,27 @@ func (s *Session) restoreSessionState(d *checkpoint.Dec) error {
 	s.retried = d.I64()
 	s.lost = d.I64()
 	s.lostWork = d.F64()
+	s.migrated = d.I64()
+	s.domainOutages = d.I64()
 	if err := d.Sticky(); err != nil {
 		return err
 	}
-	if s.interrupted < 0 || s.retried < 0 || s.lost < 0 || math.IsNaN(s.lostWork) {
-		return fmt.Errorf("%w: fault tallies %d/%d/%d/%v", ErrCorrupt,
-			s.interrupted, s.retried, s.lost, s.lostWork)
+	if s.interrupted < 0 || s.retried < 0 || s.lost < 0 || math.IsNaN(s.lostWork) ||
+		s.migrated < 0 || s.domainOutages < 0 {
+		return fmt.Errorf("%w: fault tallies %d/%d/%d/%d/%d/%v", ErrCorrupt,
+			s.interrupted, s.migrated, s.retried, s.lost, s.domainOutages, s.lostWork)
+	}
+	// The per-domain down counters are derived state: recompute them from the
+	// restored server states rather than serializing a redundant copy.
+	if s.domIdx != nil {
+		for i := range s.domDown {
+			s.domDown[i] = 0
+		}
+		for i := 0; i < s.cl.M(); i++ {
+			if s.cl.Down(i) {
+				s.domDown[s.domIdx[i]]++
+			}
+		}
 	}
 	return nil
 }

@@ -45,7 +45,7 @@ func drainResult(t *testing.T, s *hierdrl.Session) *hierdrl.Result {
 
 // stepToCompleted advances the session one Step at a time until at least n
 // jobs completed, leaving it at a decision-epoch boundary mid-run.
-func stepToCompleted(t *testing.T, s *hierdrl.Session, n int64) {
+func stepToCompleted(t testing.TB, s *hierdrl.Session, n int64) {
 	t.Helper()
 	for s.Completed() < n {
 		ok, err := s.Step()
@@ -54,6 +54,31 @@ func stepToCompleted(t *testing.T, s *hierdrl.Session, n int64) {
 		}
 		if !ok {
 			t.Fatalf("engine idle at %d completed, wanted to pause at %d", s.Completed(), n)
+		}
+	}
+}
+
+// stepUntilSnapshot keeps stepping until cond holds on a live snapshot, so a
+// checkpoint can be taken in a specific fault state (mid-outage, mid-drain,
+// mid-degrade). Fails if cond never holds before bound jobs complete — the
+// mid-fault checkpoint would otherwise be vacuous.
+func stepUntilSnapshot(t testing.TB, s *hierdrl.Session, bound int64, what string, cond func(hierdrl.SessionSnapshot) bool) {
+	t.Helper()
+	var snap hierdrl.SessionSnapshot
+	for {
+		s.SnapshotInto(&snap)
+		if cond(snap) {
+			return
+		}
+		if s.Completed() >= bound {
+			t.Fatalf("no %s observed by %d completed; mid-fault checkpoint is vacuous", what, bound)
+		}
+		ok, err := s.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if !ok {
+			t.Fatalf("engine idle at %d completed while waiting for %s", s.Completed(), what)
 		}
 	}
 }
@@ -69,38 +94,79 @@ func TestCheckpointResumeBitwise(t *testing.T) {
 		cfg    func() hierdrl.Config
 		jobs   int
 		shards int
+		// mid optionally keeps stepping past jobs/2 until the snapshot shows
+		// a specific fault state, so the checkpoint lands mid-outage /
+		// mid-degrade / mid-drain (midWhat names it in failures).
+		mid     func(hierdrl.SessionSnapshot) bool
+		midWhat string
 	}{
 		{"strict/drl-fixed-timeout", func() hierdrl.Config {
 			cfg := hierdrl.FixedTimeoutBaseline(6, 45)
 			cfg.WarmupTrace = warmTrace(6)
 			cfg.CheckpointEvery = 40
 			return cfg
-		}, 240, 1},
+		}, 240, 1, nil, ""},
 		{"strict/hierarchical-lstm", func() hierdrl.Config {
 			cfg := hierdrl.Hierarchical(6)
 			cfg.WarmupTrace = warmTrace(6)
 			return cfg
-		}, 220, 1},
+		}, 220, 1, nil, ""},
 		{"strict/faults-backoff", func() hierdrl.Config {
 			cfg := expCrashCfg(6, hierdrl.RetryBackoff)
 			cfg.CheckpointEvery = 250
 			return cfg
-		}, 2000, 1},
+		}, 2000, 1, nil, ""},
 		{"sharded-p2/least-loaded", func() hierdrl.Config {
 			cfg := hierdrl.RoundRobin(8)
 			cfg.Alloc = hierdrl.AllocLeastLoaded
 			cfg.CheckpointEvery = 250
 			return cfg
-		}, 2000, 2},
+		}, 2000, 2, nil, ""},
 		{"sharded-p4/drl-adhoc", func() hierdrl.Config {
 			cfg := hierdrl.DRLOnly(8)
 			cfg.WarmupTrace = warmTrace(8)
 			return cfg
-		}, 240, 4},
+		}, 240, 4, nil, ""},
 		{"sharded-p2/faults-immediate", func() hierdrl.Config {
 			cfg := expCrashCfg(8, hierdrl.RetryImmediate)
 			return cfg
-		}, 2000, 2},
+		}, 2000, 2, nil, ""},
+		{"strict/faults-correlated-midoutage", func() hierdrl.Config {
+			cfg := expCrashCfg(8, hierdrl.RetryBackoff)
+			cfg.Name = "ckpt-correlated"
+			cfg.Faults = hierdrl.FaultCorrelatedCrash
+			cfg.Domains = hierdrl.EqualDomains(4, 8)
+			return cfg
+		}, 2000, 1, func(sn hierdrl.SessionSnapshot) bool {
+			return sn.ServersDown > 0 // a whole rack is down right now
+		}, "rack outage"},
+		{"sharded-p2/faults-degrade-middegrade", func() hierdrl.Config {
+			cfg := expCrashCfg(8, hierdrl.RetryImmediate)
+			cfg.Name = "ckpt-degrade"
+			cfg.Faults = hierdrl.FaultDegrade
+			cfg.DegradeFactor = 0.25
+			cfg.MTTFSec = 8000
+			cfg.MTTRSec = 2000
+			return cfg
+		}, 2000, 2, func(sn hierdrl.SessionSnapshot) bool {
+			for _, sp := range sn.View.Speed {
+				if sp < 1 { // a server is running fail-slow right now
+					return true
+				}
+			}
+			return false
+		}, "degraded server"},
+		{"sharded-p2/faults-drain-middrain", func() hierdrl.Config {
+			cfg := expCrashCfg(8, hierdrl.RetryImmediate)
+			cfg.Name = "ckpt-drain"
+			cfg.Alloc = hierdrl.AllocPackFit
+			cfg.Faults = hierdrl.FaultDrain
+			cfg.DrainEverySec = 6000
+			cfg.DrainWindowSec = 400
+			return cfg
+		}, 2000, 2, func(sn hierdrl.SessionSnapshot) bool {
+			return sn.ServersUnavailable > 0 // a server is draining or powered off
+		}, "maintenance window"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -129,6 +195,9 @@ func TestCheckpointResumeBitwise(t *testing.T) {
 				t.Fatal(err)
 			}
 			stepToCompleted(t, orig, int64(tc.jobs/2))
+			if tc.mid != nil {
+				stepUntilSnapshot(t, orig, int64(tc.jobs)*9/10, tc.midWhat, tc.mid)
+			}
 			var snap bytes.Buffer
 			if err := orig.Checkpoint(&snap); err != nil {
 				t.Fatalf("checkpoint: %v", err)
@@ -159,7 +228,7 @@ func TestCheckpointResumeBitwise(t *testing.T) {
 }
 
 // smallSnapshot builds one valid mid-run snapshot for the corruption tests.
-func smallSnapshot(t *testing.T) []byte {
+func smallSnapshot(t testing.TB) []byte {
 	t.Helper()
 	cfg := hierdrl.RoundRobin(4)
 	cfg.Alloc = hierdrl.AllocLeastLoaded
@@ -180,11 +249,44 @@ func smallSnapshot(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
-// TestRestoreRejectsCorruptSnapshots mutates a valid snapshot one corruption
-// class at a time and pins the sentinel each class must surface. Container
-// layout (internal/checkpoint): magic [0,8), version u32 [8,12), fingerprint
-// u64 [12,20), nSections u32 [20,24), then the section table — first entry
+// snapshotCorruptions is the corruption-class table shared by the rejection
+// test and FuzzRestoreState's seed corpus. Container layout
+// (internal/checkpoint): magic [0,8), version u32 [8,12), fingerprint u64
+// [12,20), nSections u32 [20,24), then the section table — first entry
 // nameLen u16 [24,26), name "config" [26,32), payloadLen u64 [32,40).
+var snapshotCorruptions = []struct {
+	name   string
+	mutate func(b []byte) []byte
+	want   error
+}{
+	{"empty-file", func(b []byte) []byte { return nil }, hierdrl.ErrCorrupt},
+	{"truncated-header", func(b []byte) []byte { return b[:10] }, hierdrl.ErrCorrupt},
+	{"bad-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, hierdrl.ErrCorrupt},
+	{"unsupported-version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:], 99)
+		return b
+	}, hierdrl.ErrVersion},
+	{"fingerprint-flip", func(b []byte) []byte { b[12] ^= 0xFF; return b }, hierdrl.ErrConfigMismatch},
+	{"implausible-section-count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[20:], 100000)
+		return b
+	}, hierdrl.ErrCorrupt},
+	{"section-table-dropped", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[20:], 0)
+		return b
+	}, hierdrl.ErrCorrupt},
+	{"section-name-tampered", func(b []byte) []byte { b[26] ^= 0x20; return b }, hierdrl.ErrCorrupt},
+	{"section-length-huge", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[32:], 1<<40)
+		return b
+	}, hierdrl.ErrCorrupt},
+	{"payload-truncated", func(b []byte) []byte { return b[:len(b)-5] }, hierdrl.ErrCorrupt},
+	{"payload-bit-flip-tail", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, hierdrl.ErrCorrupt},
+	{"payload-bit-flip-mid", func(b []byte) []byte { b[len(b)*3/4] ^= 0x01; return b }, hierdrl.ErrCorrupt},
+}
+
+// TestRestoreRejectsCorruptSnapshots mutates a valid snapshot one corruption
+// class at a time and pins the sentinel each class must surface.
 func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
 	good := smallSnapshot(t)
 	if s, err := hierdrl.Restore(bytes.NewReader(good)); err != nil {
@@ -193,37 +295,7 @@ func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
 		s.Close()
 	}
 
-	cases := []struct {
-		name   string
-		mutate func(b []byte) []byte
-		want   error
-	}{
-		{"empty-file", func(b []byte) []byte { return nil }, hierdrl.ErrCorrupt},
-		{"truncated-header", func(b []byte) []byte { return b[:10] }, hierdrl.ErrCorrupt},
-		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, hierdrl.ErrCorrupt},
-		{"unsupported-version", func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[8:], 99)
-			return b
-		}, hierdrl.ErrVersion},
-		{"fingerprint-flip", func(b []byte) []byte { b[12] ^= 0xFF; return b }, hierdrl.ErrConfigMismatch},
-		{"implausible-section-count", func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[20:], 100000)
-			return b
-		}, hierdrl.ErrCorrupt},
-		{"section-table-dropped", func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[20:], 0)
-			return b
-		}, hierdrl.ErrCorrupt},
-		{"section-name-tampered", func(b []byte) []byte { b[26] ^= 0x20; return b }, hierdrl.ErrCorrupt},
-		{"section-length-huge", func(b []byte) []byte {
-			binary.LittleEndian.PutUint64(b[32:], 1<<40)
-			return b
-		}, hierdrl.ErrCorrupt},
-		{"payload-truncated", func(b []byte) []byte { return b[:len(b)-5] }, hierdrl.ErrCorrupt},
-		{"payload-bit-flip-tail", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, hierdrl.ErrCorrupt},
-		{"payload-bit-flip-mid", func(b []byte) []byte { b[len(b)*3/4] ^= 0x01; return b }, hierdrl.ErrCorrupt},
-	}
-	for _, tc := range cases {
+	for _, tc := range snapshotCorruptions {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			mutant := tc.mutate(append([]byte(nil), good...))

@@ -8,6 +8,7 @@
 //	experiments -exp fig10              // Fig. 10 trade-off curves
 //	experiments -exp lstm               // X1: predictor accuracy comparison
 //	experiments -exp ablation           // X2: autoencoder / weight-sharing ablation
+//	experiments -exp faultmatrix        // X3: allocators x fault classes degradation matrix
 //	experiments -exp all
 //
 // -scale bench runs the 20x-reduced configuration (minutes); -scale full
@@ -26,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	exp := flag.String("exp", "all", "experiment: table1 | fig8 | fig9 | fig10 | lstm | ablation | all")
+	exp := flag.String("exp", "all", "experiment: table1 | fig8 | fig9 | fig10 | lstm | ablation | faultmatrix | all")
 	scaleName := flag.String("scale", "bench", "bench (20x reduced) or full (95,000 jobs)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -50,11 +51,12 @@ func main() {
 		"fig8":     func(s func(int) hierdrl.Scale) { figSeries(8, 30, s) },
 		"fig9":     func(s func(int) hierdrl.Scale) { figSeries(9, 40, s) },
 		"fig10":    fig10,
-		"lstm":     lstmStudy,
-		"ablation": ablation,
+		"lstm":        lstmStudy,
+		"ablation":    ablation,
+		"faultmatrix": faultMatrix,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig8", "fig9", "fig10", "lstm", "ablation"} {
+		for _, name := range []string{"table1", "fig8", "fig9", "fig10", "lstm", "ablation", "faultmatrix"} {
 			run[name](scaleFor)
 		}
 		return
@@ -177,6 +179,24 @@ func lstmStudy(scaleFor func(int) hierdrl.Scale) {
 	fmt.Printf("%-14s %12s %12s %10s\n", "predictor", "RMSE(log)", "MAE(s)", "samples")
 	for _, s := range scores {
 		fmt.Printf("%-14s %12.4f %12.2f %10d\n", s.Name, s.RMSELog, s.MAE, s.Samples)
+	}
+}
+
+func faultMatrix(scaleFor func(int) hierdrl.Scale) {
+	m := 30
+	sc := scaleFor(m)
+	fmt.Printf("\n== X3: graceful degradation — allocators x fault classes (M = %d, jobs = %d) ==\n", m, sc.Jobs)
+	points, err := hierdrl.RunFaultMatrix(m, sc)
+	if err != nil {
+		log.Fatalf("faultmatrix: %v", err)
+	}
+	fmt.Printf("%-14s %-18s %8s %10s %10s %9s %9s %9s %11s\n",
+		"policy", "faults", "avail", "avgLat(s)", "E(kWh)", "retried", "lost", "migrated", "degraded(s)")
+	for _, p := range points {
+		s := p.Summary
+		fmt.Printf("%-14s %-18s %8.4f %10.1f %10.2f %9d %9d %9d %11.0f\n",
+			p.Alloc, p.Faults, s.Availability, s.AvgLatencySec, s.EnergykWh,
+			s.JobsRetried, s.JobsLost, s.JobsMigrated, s.DegradedSec)
 	}
 }
 

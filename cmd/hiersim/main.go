@@ -9,6 +9,9 @@
 //	hiersim -system fixed-timeout -timeout 60 -trace mytrace.csv
 //	hiersim -system scale-10k -shards 8
 //	hiersim -system round-robin -faults exp-crash -mttf 20000 -mttr 600 -retry backoff
+//	hiersim -system round-robin -faults correlated-crash -domains 4 -mttf 40000
+//	hiersim -system hierarchical -faults degrade -degrade-factor 0.3
+//	hiersim -system fixed-timeout -faults maintenance-drain -drain-every 7200 -drain-window 300
 //	hiersim -system hierarchical -servers 30 -checkpoint run.ckpt -checkpoint-every 500
 //	hiersim -resume run.ckpt
 //	hiersim -list
@@ -70,9 +73,18 @@ func main() {
 	snapEvery := flag.Int("snap-every", 1000,
 		"print a live snapshot every N streamed jobs (with -stream)")
 	faults := flag.String("faults", "none",
-		"failure model: none | exp-crash (independent exponential crash/repair per server)")
-	mttf := flag.Float64("mttf", 172800, "mean time to failure in seconds (with -faults exp-crash)")
-	mttr := flag.Float64("mttr", 600, "mean time to repair in seconds (with -faults exp-crash)")
+		"failure model: none | exp-crash | correlated-crash | degrade | maintenance-drain (see -list)")
+	mttf := flag.Float64("mttf", 172800, "mean time to failure/degradation onset in seconds (crash and degrade models)")
+	mttr := flag.Float64("mttr", 600, "mean time to repair in seconds (crash and degrade models)")
+	domains := flag.Int("domains", 0,
+		"failure domains for -faults correlated-crash: split the cluster into N contiguous equal racks "+
+			"(0 = one domain per server class, or the whole cluster)")
+	degradeFactor := flag.Float64("degrade-factor", 0,
+		"fail-slow speed multiplier in (0,1) (with -faults degrade; 0 = default 0.25)")
+	drainEvery := flag.Float64("drain-every", 0,
+		"seconds between maintenance windows per server (with -faults maintenance-drain; 0 = default 14400)")
+	drainWindow := flag.Float64("drain-window", 0,
+		"maintenance window length in seconds (with -faults maintenance-drain; 0 = default 600)")
 	retry := flag.String("retry", "backoff",
 		"requeue policy for crash-evicted jobs: immediate | backoff | drop-after")
 	retryMax := flag.Int("retry-max", 0,
@@ -94,6 +106,17 @@ func main() {
 	if *list {
 		printRegistry()
 		return
+	}
+
+	// Fail fast on unknown extension-point names with the registered set in
+	// the message (exit 2: usage error, distinct from runtime failures).
+	if msg := checkRegistered("fault model", *faults, faultModelNames()); msg != "" {
+		fmt.Fprintln(os.Stderr, "hiersim: "+msg)
+		os.Exit(2)
+	}
+	if msg := checkRegistered("retry policy", *retry, retryPolicyNames()); msg != "" {
+		fmt.Fprintln(os.Stderr, "hiersim: "+msg)
+		os.Exit(2)
 	}
 
 	var scen *hierdrl.Scenario
@@ -155,6 +178,12 @@ func main() {
 	cfg.MTTRSec = *mttr
 	cfg.Retry = hierdrl.RetryKind(*retry)
 	cfg.RetryMax = *retryMax
+	if *domains > 0 {
+		cfg.Domains = hierdrl.EqualDomains(*domains, cfg.M)
+	}
+	cfg.DegradeFactor = *degradeFactor
+	cfg.DrainEverySec = *drainEvery
+	cfg.DrainWindowSec = *drainWindow
 	if *series {
 		if *stream {
 			// The stream length is unknown up front; checkpoint at the
@@ -424,6 +453,36 @@ func printRegistry() {
 	}
 }
 
+// checkRegistered returns "" when name is one of registered, else a one-line
+// usage-error message naming the registered set. Split out of main so the
+// CLI test can pin the exact message without forking the binary.
+func checkRegistered(kind, name string, registered []string) string {
+	for _, r := range registered {
+		if r == name {
+			return ""
+		}
+	}
+	return fmt.Sprintf("unknown %s %q; registered: %s", kind, name, strings.Join(registered, " "))
+}
+
+func faultModelNames() []string {
+	ks := hierdrl.FaultModels()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return out
+}
+
+func retryPolicyNames() []string {
+	ks := hierdrl.RetryPolicies()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return out
+}
+
 // flagWasSet reports whether the named flag was passed explicitly.
 func flagWasSet(name string) bool {
 	set := false
@@ -508,6 +567,10 @@ func printSnap(sn hierdrl.SessionSnapshot) {
 	if sn.Failures > 0 {
 		fmt.Printf("%21s down=%d failures=%d retried=%d lost=%d availability=%.4f\n",
 			"faults:", sn.ServersDown, sn.Failures, sn.JobsRetried, sn.JobsLost, sn.Availability)
+		if sn.JobsMigrated > 0 || sn.DomainOutages > 0 || sn.DegradedSec > 0 {
+			fmt.Printf("%21s unavailable=%d migrated=%d outages=%d degraded=%.0fs\n",
+				"", sn.ServersUnavailable, sn.JobsMigrated, sn.DomainOutages, sn.DegradedSec)
+		}
 	}
 }
 
@@ -529,6 +592,15 @@ func printResult(res *hierdrl.Result, series bool) {
 		fmt.Printf("failures/repairs  %d / %d (MTTR %.0f s)\n", s.Failures, s.Repairs, s.MTTRSec)
 		fmt.Printf("retried/lost      %d / %d (lost work %.0f s)\n",
 			s.JobsRetried, s.JobsLost, s.LostWorkSec)
+		if s.DomainOutages > 0 {
+			fmt.Printf("domain outages    %d\n", s.DomainOutages)
+		}
+		if s.DegradedSec > 0 {
+			fmt.Printf("degraded time     %.0f server-s\n", s.DegradedSec)
+		}
+		if s.Drains > 0 {
+			fmt.Printf("drains/migrated   %d / %d\n", s.Drains, s.JobsMigrated)
+		}
 	}
 	if res.AgentDiag != "" {
 		fmt.Printf("agent             %s\n", res.AgentDiag)

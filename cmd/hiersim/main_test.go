@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckRegistered pins the usage-error contract for -faults/-retry: a
+// registered name passes silently, an unknown name yields exactly one line
+// naming the offending value and the full registered set (main prints that
+// line and exits 2).
+func TestCheckRegistered(t *testing.T) {
+	cases := []struct {
+		name       string
+		kind, val  string
+		registered []string
+		wantOK     bool
+		wantParts  []string
+	}{
+		{"fault-known-none", "fault model", "none", faultModelNames(), true, nil},
+		{"fault-known-exp-crash", "fault model", "exp-crash", faultModelNames(), true, nil},
+		{"fault-known-correlated", "fault model", "correlated-crash", faultModelNames(), true, nil},
+		{"fault-known-degrade", "fault model", "degrade", faultModelNames(), true, nil},
+		{"fault-known-drain", "fault model", "maintenance-drain", faultModelNames(), true, nil},
+		{"fault-unknown", "fault model", "bit-rot", faultModelNames(), false,
+			[]string{`unknown fault model "bit-rot"`, "registered:", "exp-crash", "correlated-crash", "degrade", "maintenance-drain", "none"}},
+		{"fault-empty", "fault model", "", faultModelNames(), false,
+			[]string{`unknown fault model ""`}},
+		{"retry-known-backoff", "retry policy", "backoff", retryPolicyNames(), true, nil},
+		{"retry-known-immediate", "retry policy", "immediate", retryPolicyNames(), true, nil},
+		{"retry-unknown", "retry policy", "exponentail", retryPolicyNames(), false,
+			[]string{`unknown retry policy "exponentail"`, "registered:", "backoff", "drop-after", "immediate"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := checkRegistered(tc.kind, tc.val, tc.registered)
+			if tc.wantOK {
+				if msg != "" {
+					t.Fatalf("checkRegistered(%q) = %q, want accepted", tc.val, msg)
+				}
+				return
+			}
+			if msg == "" {
+				t.Fatalf("checkRegistered(%q) accepted an unknown name", tc.val)
+			}
+			if strings.Contains(msg, "\n") {
+				t.Fatalf("usage error is not one line: %q", msg)
+			}
+			for _, part := range tc.wantParts {
+				if !strings.Contains(msg, part) {
+					t.Fatalf("usage error %q missing %q", msg, part)
+				}
+			}
+		})
+	}
+}

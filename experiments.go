@@ -276,6 +276,74 @@ func RunFaultSweep(m int, sc Scale, mttfs []float64) ([]FaultPoint, error) {
 	return points, nil
 }
 
+// FaultMatrixPoint is one cell of the fault-class matrix: an allocation
+// policy run under one fault model at fixed offered load.
+type FaultMatrixPoint struct {
+	Alloc   AllocPolicy
+	Faults  FaultKind
+	Summary Summary
+}
+
+// RunFaultMatrix runs every non-learning allocation policy against the same
+// workload under each fault class — independent exponential crashes,
+// correlated rack crashes (one domain per ~6 servers), fail-slow degradation
+// (default 0.25 speed factor), and rolling maintenance drains — the
+// graceful-degradation counterpart to RunFaultSweep's MTTF pressure sweep.
+// All crash/degrade cells share MTTF 30,000 s and MTTR 600 s so the columns
+// differ only in failure *shape*, not failure *volume*; drains use the
+// default 4 h cadence / 10 min window. Points are ordered policy-major,
+// matching the model order {exp-crash, correlated-crash, degrade,
+// maintenance-drain} within each policy.
+func RunFaultMatrix(m int, sc Scale) ([]FaultMatrixPoint, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	tr := sc.trace(0)
+	allocs := []AllocPolicy{AllocRoundRobin, AllocRandom, AllocLeastLoaded, AllocPackFit}
+	models := []FaultKind{FaultExpCrash, FaultCorrelatedCrash, FaultDegrade, FaultDrain}
+	nDom := m / 6
+	if nDom < 1 {
+		nDom = 1
+	}
+	domains := EqualDomains(nDom, m)
+	points := make([]FaultMatrixPoint, len(allocs)*len(models))
+	tasks := make([]func() error, 0, len(points))
+	for ai, alloc := range allocs {
+		for fi, model := range models {
+			ai, fi, alloc, model := ai, fi, alloc, model
+			tasks = append(tasks, func() error {
+				cfg := Config{
+					Name:            fmt.Sprintf("%s/%s", alloc, model),
+					M:               m,
+					Seed:            sc.Seed,
+					Alloc:           alloc,
+					DPM:             DPMFixedTimeout,
+					FixedTimeoutSec: 60,
+					Faults:          model,
+					MTTFSec:         30000,
+					MTTRSec:         600,
+					Retry:           RetryBackoff,
+				}
+				if model == FaultCorrelatedCrash {
+					cfg.Domains = domains
+				}
+				res, err := Run(cfg, tr)
+				if err != nil {
+					return fmt.Errorf("hierdrl: fault matrix %s: %w", cfg.Name, err)
+				}
+				points[ai*len(models)+fi] = FaultMatrixPoint{
+					Alloc: alloc, Faults: model, Summary: res.Summary,
+				}
+				return nil
+			})
+		}
+	}
+	if err := runParallel(tasks); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
 // ScenarioPoint is one cell of the scenario sweep: an allocation policy run
 // on a registered scenario.
 type ScenarioPoint struct {

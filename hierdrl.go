@@ -129,6 +129,26 @@ const (
 	// crash/repair process parameterized by MTTFSec/MTTRSec, derived from
 	// (Seed, serverID) so the schedule is identical at every shard count.
 	FaultExpCrash FaultKind = "exp-crash"
+	// FaultCorrelatedCrash crashes whole failure domains (racks/zones)
+	// together: one exponential crash/repair process per domain (MTTFSec/
+	// MTTRSec), derived from (Seed, domain index), with every member down
+	// and repaired at identical instants. Domains come from Config.Domains,
+	// falling back to one domain per Cluster.Classes entry, then to the
+	// whole cluster as a single domain.
+	FaultCorrelatedCrash FaultKind = "correlated-crash"
+	// FaultDegrade is the fail-slow model: instead of dying, a server's
+	// effective speed is multiplied by DegradeFactor for an exponential
+	// window (MTTFSec mean time to onset, MTTRSec mean window length).
+	// Running jobs keep their committed finish instants; jobs started while
+	// degraded stretch by 1/DegradeFactor; allocators observe the degraded
+	// speed through the cluster view.
+	FaultDegrade FaultKind = "degrade"
+	// FaultDrain models planned maintenance: every DrainEverySec (staggered
+	// evenly across servers) a server stops accepting work, migrates its
+	// queue through the Retry policy (counted JobsMigrated, not
+	// JobsInterrupted), finishes its running jobs, then powers off for
+	// DrainWindowSec before rejoining cold. The schedule is RNG-free.
+	FaultDrain FaultKind = "maintenance-drain"
 )
 
 // RetryKind selects what happens to jobs evicted by a server crash.
@@ -207,6 +227,19 @@ type Config struct {
 	// RetryDropAfter (required > 0); beyond it the job is dropped and
 	// counted in Summary.JobsLost.
 	RetryMax int
+	// Domains partitions the cluster into contiguous failure domains
+	// (racks/zones) for FaultCorrelatedCrash; counts must sum to M. Empty
+	// falls back to one domain per Cluster.Classes entry when classes are
+	// configured, else the whole cluster forms one domain.
+	Domains []FailureDomain
+	// DegradeFactor is FaultDegrade's speed multiplier in (0, 1) applied
+	// while a server is fail-slow (default 0.25).
+	DegradeFactor float64
+	// DrainEverySec/DrainWindowSec parameterize FaultDrain: the period
+	// between a server's maintenance windows and the powered-off window
+	// length (defaults 14400s / 600s).
+	DrainEverySec  float64
+	DrainWindowSec float64
 
 	// CheckpointEvery records a Fig. 8/9 series point after this many job
 	// completions (0 disables).

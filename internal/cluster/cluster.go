@@ -147,10 +147,13 @@ type shardGroup struct {
 	submitted int64
 
 	// Fault-layer bookkeeping, written only by the shard's own lane (crash
-	// and repair events run on it): down counts currently-crashed local
-	// servers, fails counts local crashes.
-	down  int
-	fails int64
+	// and repair events run on it): down counts currently-down local servers
+	// (crashed or powered off for maintenance), draining counts local servers
+	// with an open maintenance window still finishing jobs, fails counts
+	// local fault onsets (crashes, degrade windows, maintenance windows).
+	down     int
+	draining int
+	fails    int64
 
 	// idx, when enabled, maintains the least-committed-server tournament
 	// tree over this shard (see LoadIndex).
@@ -164,6 +167,9 @@ type shardGroup struct {
 	dones      []DoneRec
 	trans      []TransRec
 	interrupts []InterruptRec
+	migrates   []InterruptRec
+	degrades   []DegradeRec
+	maints     []MaintRec
 }
 
 // Cluster aggregates M servers across one or more shard groups, maintains
@@ -199,9 +205,24 @@ type Cluster struct {
 	// mode logs InterruptRecs instead, replayed at the epoch barrier through
 	// DrainInterrupts in merged time order).
 	OnInterrupt func(t sim.Time, j *Job)
+	// OnMigrate fires for every queued job a maintenance drain migrates away
+	// (strict tier; async mode replays through DrainMigrates).
+	OnMigrate func(t sim.Time, j *Job)
+	// OnDegrade fires on fail-slow onset (factor < 1) and restore
+	// (factor == 1) — strict tier; async mode replays through DrainDegrades.
+	OnDegrade func(t sim.Time, server int, factor float64)
+	// OnDrainStart fires when a server's maintenance window opens, before its
+	// queue migrates — strict tier; async mode replays through DrainMaints.
+	OnDrainStart func(t sim.Time, server int)
 
-	// faults records that EnableFaults installed failure clocks.
-	faults bool
+	// faults records that EnableFaults installed failure clocks; faultKind
+	// and degradeFactor record the installed model's class.
+	faults        bool
+	faultKind     fault.Kind
+	degradeFactor float64
+	// dynSpeed marks that effective speeds can change mid-run (fail-slow), so
+	// snapshot refreshes must rewrite View.Speed instead of filling it once.
+	dynSpeed bool
 
 	// drainCur is the reusable per-shard cursor scratch of the barrier-time
 	// log merges (see shard.go).
@@ -345,29 +366,99 @@ func (c *Cluster) Submit(j *Job, server int) {
 	c.servers[server].Submit(j)
 }
 
-// EnableFaults installs per-server failure/repair clocks and schedules each
-// server's first crash. clockFor is invoked in ascending server order; a nil
-// clock exempts that server. Call once, before any event fires.
-func (c *Cluster) EnableFaults(clockFor func(serverID int) fault.Clock) {
+// EnableFaults installs per-server fault clocks of the given kind and
+// schedules each server's first onset event. clockFor is invoked in ascending
+// server order; a nil clock exempts that server. degradeFactor is the
+// fail-slow speed multiplier (ignored for other kinds). Call once, before any
+// event fires.
+func (c *Cluster) EnableFaults(clockFor func(serverID int) fault.Clock, kind fault.Kind, degradeFactor float64) {
 	c.faults = true
+	c.faultKind = kind
+	c.degradeFactor = degradeFactor
+	if kind == fault.KindDegrade {
+		c.dynSpeed = true
+	}
+	hooks := FaultHooks{
+		OnInterrupt: c.jobInterrupted,
+		OnMigrate:   c.jobMigrated,
+		OnFault:     c.serverFault,
+		OnDegrade:   c.serverDegraded,
+		OnDrain:     c.serverDrain,
+	}
 	for i, s := range c.servers {
-		s.SetFaultClock(clockFor(i), c.jobInterrupted, c.serverFault)
+		s.SetFaultClock(clockFor(i), kind, degradeFactor, hooks)
 	}
 }
 
 // FaultsEnabled reports whether EnableFaults has been called.
 func (c *Cluster) FaultsEnabled() bool { return c.faults }
 
+// FaultKind returns the installed fault model's class (KindCrash when no
+// faults are enabled).
+func (c *Cluster) FaultKind() fault.Kind { return c.faultKind }
+
 // serverFault maintains the shard-local down/failure counters. It runs on
-// the crashing server's own lane (single-writer), before the eviction
-// cascade.
+// the failing server's own lane (single-writer), before the eviction
+// cascade. A maintenance power-off arrives with s.draining still set, so the
+// server moves from the draining count to the down count atomically.
 func (c *Cluster) serverFault(t sim.Time, s *Server, down bool) {
 	g := &c.shards[c.shardOf[s.ID()]]
 	if down {
 		g.down++
 		g.fails++
+		if s.draining {
+			g.draining--
+		}
 	} else {
 		g.down--
+	}
+}
+
+// serverDegraded maintains the shard-local fault counter for fail-slow
+// onsets and forwards the event (synchronously in the strict tier, via the
+// shard's degrade log in async mode).
+func (c *Cluster) serverDegraded(t sim.Time, s *Server, degraded bool) {
+	g := &c.shards[c.shardOf[s.ID()]]
+	factor := 1.0
+	if degraded {
+		g.fails++
+		factor = c.degradeFactor
+	}
+	if c.async {
+		g.degrades = append(g.degrades, DegradeRec{At: t, Server: int32(s.ID()), Factor: factor})
+		return
+	}
+	if c.OnDegrade != nil {
+		c.OnDegrade(t, s.ID(), factor)
+	}
+}
+
+// serverDrain maintains the shard-local draining counter and forwards the
+// window-open event.
+func (c *Cluster) serverDrain(t sim.Time, s *Server) {
+	g := &c.shards[c.shardOf[s.ID()]]
+	g.draining++
+	if c.async {
+		g.maints = append(g.maints, MaintRec{At: t, Server: int32(s.ID())})
+		return
+	}
+	if c.OnDrainStart != nil {
+		c.OnDrainStart(t, s.ID())
+	}
+}
+
+// jobMigrated forwards one drain-migrated job: synchronously through
+// OnMigrate in the strict tier, via the shard's migrate log in async mode
+// (unconditional there — re-dispatch handling is mandatory whenever faults
+// are enabled, exactly like interrupts).
+func (c *Cluster) jobMigrated(t sim.Time, j *Job) {
+	if c.async {
+		g := &c.shards[c.shardOf[j.Server]]
+		g.migrates = append(g.migrates, InterruptRec{At: t, J: j})
+		return
+	}
+	if c.OnMigrate != nil {
+		c.OnMigrate(t, j)
 	}
 }
 
@@ -417,9 +508,28 @@ func (c *Cluster) Repairs() int64 {
 // Down reports whether server i is currently crashed.
 func (c *Cluster) Down(i int) bool { return c.servers[i].Down() }
 
-// NextUp returns the first non-down server scanning cyclically upward from
+// Accepting reports whether server i can take new work: neither down nor
+// draining for maintenance.
+func (c *Cluster) Accepting(i int) bool {
+	s := c.servers[i]
+	return s.state != StateDown && !s.draining
+}
+
+// UnavailableServers returns how many servers currently reject new work —
+// down (crashed or maintenance) plus draining. With no drain model it equals
+// DownServers. Parallel tier: barrier-time only, like every aggregate.
+func (c *Cluster) UnavailableServers() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].down + c.shards[i].draining
+	}
+	return n
+}
+
+// NextUp returns the first accepting server scanning cyclically upward from
 // `from` — the graceful-degradation remap applied when an allocator's pick
-// is dead. Returns from itself when it is up, -1 when every server is down.
+// is dead or draining. Returns from itself when it accepts work, -1 when no
+// server does.
 func (c *Cluster) NextUp(from int) int {
 	m := len(c.servers)
 	for k := 0; k < m; k++ {
@@ -427,7 +537,7 @@ func (c *Cluster) NextUp(from int) int {
 		if i >= m {
 			i -= m
 		}
-		if !c.servers[i].Down() {
+		if c.Accepting(i) {
 			return i
 		}
 	}
@@ -450,6 +560,53 @@ func (c *Cluster) NextRepairAt() sim.Time {
 		panic("cluster: NextRepairAt with no server down")
 	}
 	return best
+}
+
+// NextAvailAt returns the earliest instant an unavailable server's state can
+// next change: the soonest repair among down servers, or the soonest run-dry
+// instant among draining servers (whose graceful power-off then schedules the
+// real repair — parking there makes progress because the completion event
+// fires first at that instant). Call only while at least one server is
+// unavailable; with no drain model it equals NextRepairAt.
+func (c *Cluster) NextAvailAt() sim.Time {
+	best := sim.Time(math.MaxFloat64)
+	found := false
+	for _, s := range c.servers {
+		var at sim.Time
+		switch {
+		case s.Down():
+			at = s.RepairAt()
+		case s.draining:
+			at = s.drainEndsAt()
+		default:
+			continue
+		}
+		if !found || at < best {
+			best, found = at, true
+		}
+	}
+	if !found {
+		panic("cluster: NextAvailAt with no server unavailable")
+	}
+	return best
+}
+
+// Drains returns the total maintenance windows opened so far.
+func (c *Cluster) Drains() int64 {
+	var n int64
+	for _, s := range c.servers {
+		n += s.Drains()
+	}
+	return n
+}
+
+// DegradedSeconds integrates every server's fail-slow time through t.
+func (c *Cluster) DegradedSeconds(t sim.Time) float64 {
+	var d float64
+	for _, s := range c.servers {
+		d += s.DegradedSeconds(t)
+	}
+	return d
 }
 
 // DownSeconds integrates every server's downtime through t (the
@@ -703,11 +860,12 @@ type View struct {
 	QueueLen []int        // waiting jobs per server
 	InSystem []int        // waiting + running per server
 	State    []PowerState // power mode per server
-	// Speed is each server's execution-speed factor (all 1.0 on a
-	// homogeneous cluster). Speeds are immutable after construction, so the
-	// slice is filled once when the view is first sized, never refreshed.
-	// Hand-built views may leave it nil; speed-aware allocators must treat
-	// nil as "all nominal".
+	// Speed is each server's effective execution-speed factor (all 1.0 on a
+	// homogeneous cluster). Without a fail-slow fault model speeds are
+	// immutable after construction, so the slice is filled once when the
+	// view is first sized; under the degrade model SnapshotRange refreshes
+	// it, so allocators see degraded capacity. Hand-built views may leave it
+	// nil; speed-aware allocators must treat nil as "all nominal".
 	Speed []float64
 }
 
@@ -753,6 +911,13 @@ func (c *Cluster) SnapshotRange(v *View, lo, hi int) {
 		v.InSystem[i] = s.JobsInSystem()
 		v.State[i] = s.State()
 	}
+	// Speed is refreshed only under a fail-slow model: the branch keeps the
+	// fault-free refresh loop (and its zero-alloc pin) byte-identical.
+	if c.dynSpeed && v.Speed != nil {
+		for i := lo; i < hi; i++ {
+			v.Speed[i] = c.servers[i].Speed()
+		}
+	}
 }
 
 // SnapshotInto captures the current state of every server into v, reusing
@@ -795,6 +960,16 @@ func (c *Cluster) InvariantCheck() {
 	if down != c.DownServers() {
 		panic(fmt.Sprintf("cluster: down-server drift: incremental %d recomputed %d",
 			c.DownServers(), down))
+	}
+	unavail := 0
+	for _, s := range c.servers {
+		if s.Down() || s.Draining() {
+			unavail++
+		}
+	}
+	if unavail != c.UnavailableServers() {
+		panic(fmt.Sprintf("cluster: unavailable-server drift: incremental %d recomputed %d",
+			c.UnavailableServers(), unavail))
 	}
 	for s := range c.shards {
 		if idx := c.shards[s].idx; idx != nil {

@@ -19,8 +19,9 @@ const (
 	StateWaking
 	StateActive
 	StateShuttingDown
-	// StateDown is a crashed server (fault injection): zero power draw, no
-	// jobs, rejected by every allocator view until its repair completes.
+	// StateDown is a crashed or maintenance-drained server (fault
+	// injection): zero power draw, no jobs, rejected by every allocator view
+	// until its repair completes / its maintenance window elapses.
 	StateDown
 )
 
@@ -124,8 +125,12 @@ type Server struct {
 	dpm DPMPolicy
 
 	state PowerState
-	speed float64 // normalized execution-speed factor (cfg.Speed, 0 -> 1)
-	used  Resources
+	// speed is the current effective execution-speed factor; baseSpeed is the
+	// configured class speed (cfg.Speed, 0 -> 1). They differ only while a
+	// fail-slow fault holds the server degraded.
+	speed     float64
+	baseSpeed float64
+	used      Resources
 	// queue is the FCFS wait line, consumed through qhead so steady-state
 	// push/pop reuses the backing array instead of re-slicing capacity away
 	// (append after s.queue[1:] re-slicing allocated once per drained queue).
@@ -142,10 +147,16 @@ type Server struct {
 
 	// Fault layer (all zero when no failure clock is attached).
 	fclock fault.Clock
-	// flt is the pending crash timer while up, the pending repair timer
-	// while down — exactly one of the two exists at all times once a clock
-	// is attached, which is why the event queue never drains on a faulty
-	// run.
+	// fkind tells the server what a clock firing means: crash (evict all),
+	// degrade (slow down), or drain (planned maintenance window).
+	fkind fault.Kind
+	// degradeTo is the precomputed degraded speed (baseSpeed * model factor),
+	// meaningful only for KindDegrade.
+	degradeTo float64
+	// flt is the pending fault-onset timer while up, the pending repair timer
+	// while down, and the pending restore timer while degraded — at most one
+	// exists at a time, and only a draining server (running jobs winding
+	// down, power-off not yet scheduled) has none.
 	flt sim.Timer
 	// runJobs tracks executing jobs in start order so a crash can interrupt
 	// them deterministically; maintained only when fclock != nil.
@@ -154,12 +165,31 @@ type Server struct {
 	repairs int64
 	downAt  sim.Time
 	downSec float64
+	// Fail-slow bookkeeping: degraded intervals mirror the downAt/downSec
+	// scheme but never change the power state.
+	degraded    bool
+	degradedAt  sim.Time
+	degradedSec float64
+	// Maintenance-drain bookkeeping: draining is true from the window opening
+	// until the graceful power-off (only ever while StateActive with running
+	// jobs — an idle server powers off the instant its window opens).
+	draining bool
+	drains   int64
 	// onInterrupt receives every job a crash evicts (running first in start
 	// order, then the FCFS queue front to back).
 	onInterrupt func(t sim.Time, j *Job)
-	// onFault reports up/down flips (down=true on crash) for the cluster's
-	// shard-local failure bookkeeping, before the eviction cascade.
+	// onMigrate receives every queued job a drain start migrates away
+	// (front to back; running jobs finish in place and are never migrated).
+	onMigrate func(t sim.Time, j *Job)
+	// onFault reports up/down flips (down=true on crash or maintenance
+	// power-off) for the cluster's shard-local failure bookkeeping, before
+	// the eviction cascade.
 	onFault func(t sim.Time, s *Server, down bool)
+	// onDegrade reports degrade onset (degraded=true) and restore.
+	onDegrade func(t sim.Time, s *Server, degraded bool)
+	// onDrain reports a maintenance window opening, before the queue
+	// migration cascade.
+	onDrain func(t sim.Time, s *Server)
 
 	// Energy accounting.
 	lastT     sim.Time
@@ -200,13 +230,14 @@ func NewServer(id int, sm *sim.Simulator, cfg ServerConfig, dpm DPMPolicy) (*Ser
 		sp = 1
 	}
 	s := &Server{
-		id:    id,
-		sm:    sm,
-		cfg:   cfg,
-		dpm:   dpm,
-		state: st,
-		speed: sp,
-		lastT: sm.Now(),
+		id:        id,
+		sm:        sm,
+		cfg:       cfg,
+		dpm:       dpm,
+		state:     st,
+		speed:     sp,
+		baseSpeed: sp,
+		lastT:     sm.Now(),
 	}
 	s.lastPower = s.currentPower()
 	return s, nil
@@ -218,8 +249,12 @@ func (s *Server) ID() int { return s.id }
 // State returns the current power mode.
 func (s *Server) State() PowerState { return s.state }
 
-// Speed returns the normalized execution-speed factor (1.0 = nominal).
+// Speed returns the current effective execution-speed factor (1.0 =
+// nominal); a fail-slow fault lowers it until the matching restore.
 func (s *Server) Speed() float64 { return s.speed }
+
+// BaseSpeed returns the configured class speed factor, unaffected by faults.
+func (s *Server) BaseSpeed() float64 { return s.baseSpeed }
 
 // QueueLen returns the number of jobs waiting (not yet granted resources).
 func (s *Server) QueueLen() int { return len(s.queue) - s.qhead }
@@ -269,8 +304,10 @@ func (s *Server) CommittedUtilization() Resources {
 // LoadIndex stays bitwise-faithful to the sequential scan. A down server
 // reports +Inf, which masks it out of every least-committed tournament (the
 // LoadIndex tree handles +Inf natively — its padding leaves already use it).
+// Down and draining servers both report +Inf: a draining server still runs
+// its last jobs but accepts no new work, so it must lose every tournament.
 func (s *Server) CommittedLoad() float64 {
-	if s.state == StateDown {
+	if s.state == StateDown || s.draining {
 		return math.Inf(1)
 	}
 	return s.Utilization().Add(s.pending).MaxFrac()
@@ -376,9 +413,9 @@ func (s *Server) Submit(j *Job) {
 		panic(fmt.Sprintf("cluster: job %d demand %v exceeds server %d capacity %v",
 			j.ID, j.Req, s.id, s.cfg.Capacity))
 	}
-	if s.state == StateDown {
-		panic(fmt.Sprintf("cluster: job %d submitted to down server %d (callers must remap through NextUp)",
-			j.ID, s.id))
+	if s.state == StateDown || s.draining {
+		panic(fmt.Sprintf("cluster: job %d submitted to unavailable server %d (state %v, draining %v; callers must remap through NextUp)",
+			j.ID, s.id, s.state, s.draining))
 	}
 	now := s.sm.Now()
 	stateBefore := s.state
@@ -414,6 +451,9 @@ func serverTimeoutExpire(a any)    { a.(*Server).onTimeoutExpire() }
 func jobComplete(a any)            { j := a.(*Job); j.srv.onJobComplete(j) }
 func serverCrash(a any)            { a.(*Server).onCrash() }
 func serverRepair(a any)           { a.(*Server).onRepair() }
+func serverDegradeStart(a any)     { a.(*Server).onDegradeStart() }
+func serverDegradeEnd(a any)       { a.(*Server).onDegradeEnd() }
+func serverDrainStart(a any)       { a.(*Server).onDrainStart() }
 
 func (s *Server) beginWake() {
 	s.setState(StateWaking)
@@ -490,7 +530,14 @@ func (s *Server) onJobComplete(j *Job) {
 	if s.onJobDone != nil {
 		s.onJobDone(now, j)
 	}
-	if s.state == StateActive && s.running == 0 && s.QueueLen() == 0 {
+	if s.draining {
+		// A draining server bypasses the DPM: once the last running job
+		// finishes (its queue migrated away at the window opening), it powers
+		// off gracefully instead of entering an idle decision epoch.
+		if s.running == 0 {
+			s.maintenanceDown()
+		}
+	} else if s.state == StateActive && s.running == 0 && s.QueueLen() == 0 {
 		s.enterIdleEpoch()
 	}
 }
@@ -541,18 +588,46 @@ func (s *Server) onShutdownComplete() {
 	}
 }
 
-// SetFaultClock attaches a deterministic failure/repair clock and schedules
-// the server's first crash. A nil clock exempts the server. onInterrupt
-// receives every job a crash evicts; onFault reports up/down flips. Call
-// once, before any event fires.
-func (s *Server) SetFaultClock(c fault.Clock, onInterrupt func(sim.Time, *Job), onFault func(sim.Time, *Server, bool)) {
+// FaultHooks bundles the cluster-level callbacks a fault clock reports
+// through. OnInterrupt and OnFault must be non-nil for crash/drain kinds;
+// OnDegrade, OnDrain, and OnMigrate are consulted only by their own kinds.
+type FaultHooks struct {
+	OnInterrupt func(t sim.Time, j *Job)
+	OnMigrate   func(t sim.Time, j *Job)
+	OnFault     func(t sim.Time, s *Server, down bool)
+	OnDegrade   func(t sim.Time, s *Server, degraded bool)
+	OnDrain     func(t sim.Time, s *Server)
+}
+
+// SetFaultClock attaches a deterministic fault clock of the given kind and
+// schedules the server's first onset event. A nil clock exempts the server.
+// degradeFactor is the fail-slow speed multiplier (ignored for other kinds).
+// Call once, before any event fires.
+func (s *Server) SetFaultClock(c fault.Clock, kind fault.Kind, degradeFactor float64, hooks FaultHooks) {
 	if c == nil {
 		return
 	}
 	s.fclock = c
-	s.onInterrupt = onInterrupt
-	s.onFault = onFault
-	s.flt = s.sm.ScheduleAfterArg(c.NextFailure(), serverCrash, s)
+	s.fkind = kind
+	s.degradeTo = s.baseSpeed * degradeFactor
+	s.onInterrupt = hooks.OnInterrupt
+	s.onMigrate = hooks.OnMigrate
+	s.onFault = hooks.OnFault
+	s.onDegrade = hooks.OnDegrade
+	s.onDrain = hooks.OnDrain
+	s.armFault(c.NextFailure())
+}
+
+// armFault schedules the next fault onset through the kind's trampoline.
+func (s *Server) armFault(delay float64) {
+	switch s.fkind {
+	case fault.KindDegrade:
+		s.flt = s.sm.ScheduleAfterArg(delay, serverDegradeStart, s)
+	case fault.KindDrain:
+		s.flt = s.sm.ScheduleAfterArg(delay, serverDrainStart, s)
+	default:
+		s.flt = s.sm.ScheduleAfterArg(delay, serverCrash, s)
+	}
 }
 
 // onCrash is the crash event. The eviction order is part of the determinism
@@ -608,7 +683,85 @@ func (s *Server) onRepair() {
 		s.onFault(now, s, false)
 	}
 	s.sync()
-	s.flt = s.sm.ScheduleAfterArg(s.fclock.NextFailure(), serverCrash, s)
+	s.armFault(s.fclock.NextFailure())
+}
+
+// onDegradeStart is the fail-slow onset: the effective speed drops to
+// baseSpeed*factor for jobs that start from now on; already-running jobs
+// keep their committed completion instants. Power draw, utilization, and the
+// power state are untouched, so no sync is needed — only the speed changes.
+func (s *Server) onDegradeStart() {
+	s.flt = sim.Timer{}
+	now := s.sm.Now()
+	s.degraded = true
+	s.degradedAt = now
+	s.fails++
+	s.speed = s.degradeTo
+	if s.onDegrade != nil {
+		s.onDegrade(now, s, true)
+	}
+	s.flt = s.sm.ScheduleAfterArg(s.fclock.NextRepair(), serverDegradeEnd, s)
+}
+
+// onDegradeEnd restores full speed and draws the next degrade onset.
+func (s *Server) onDegradeEnd() {
+	s.flt = sim.Timer{}
+	now := s.sm.Now()
+	s.degraded = false
+	s.degradedSec += float64(now - s.degradedAt)
+	s.repairs++
+	s.speed = s.baseSpeed
+	if s.onDegrade != nil {
+		s.onDegrade(now, s, false)
+	}
+	s.flt = s.sm.ScheduleAfterArg(s.fclock.NextFailure(), serverDegradeStart, s)
+}
+
+// onDrainStart opens a maintenance window. The ordering mirrors onCrash —
+// bookkeeping hook first, then the job cascade — but the cascade is gentler:
+// queued jobs migrate (front to back, counted JobsMigrated upstream) instead
+// of being interrupted, and running jobs finish in place. The power-off
+// happens immediately if nothing is running, else when the last job drains.
+func (s *Server) onDrainStart() {
+	s.flt = sim.Timer{}
+	now := s.sm.Now()
+	s.draining = true
+	s.drains++
+	if s.timeout.Cancel() {
+		s.timeout = sim.Timer{}
+	}
+	if s.onDrain != nil {
+		s.onDrain(now, s)
+	}
+	for s.qhead < len(s.queue) {
+		s.onMigrate(now, s.queuePop())
+	}
+	s.pending = Resources{}
+	s.sync()
+	if s.running == 0 {
+		s.maintenanceDown()
+	}
+}
+
+// maintenanceDown is the graceful power-off at the end of a drain: same
+// StateDown machinery as a crash (zero draw, masked from allocators, repair
+// timer pending) but with nothing evicted. onFault fires while draining is
+// still set, so the cluster can move the server from its draining count to
+// its down count atomically.
+func (s *Server) maintenanceDown() {
+	now := s.sm.Now()
+	if s.trans.Cancel() {
+		s.trans = sim.Timer{}
+	}
+	s.setState(StateDown)
+	s.fails++
+	s.downAt = now
+	if s.onFault != nil {
+		s.onFault(now, s, true)
+	}
+	s.draining = false
+	s.sync()
+	s.flt = s.sm.ScheduleAfterArg(s.fclock.NextRepair(), serverRepair, s)
 }
 
 // Down reports whether the server is currently crashed.
@@ -637,3 +790,37 @@ func (s *Server) RepairedDownSeconds() float64 { return s.downSec }
 // RepairAt returns the scheduled repair instant; meaningful only while the
 // server is down (the pending fault timer is then the repair event).
 func (s *Server) RepairAt() sim.Time { return s.flt.At() }
+
+// Draining reports whether a maintenance window is open but the server is
+// still finishing running jobs (it accepts no new work meanwhile).
+func (s *Server) Draining() bool { return s.draining }
+
+// Drains returns how many maintenance windows have opened.
+func (s *Server) Drains() int64 { return s.drains }
+
+// Degraded reports whether a fail-slow fault currently holds the server at
+// reduced speed.
+func (s *Server) Degraded() bool { return s.degraded }
+
+// DegradedSeconds returns the total time spent degraded through t, including
+// the still-open interval if the server is degraded now.
+func (s *Server) DegradedSeconds(t sim.Time) float64 {
+	d := s.degradedSec
+	if s.degraded {
+		d += float64(t - s.degradedAt)
+	}
+	return d
+}
+
+// drainEndsAt returns the instant a draining server runs dry (the latest
+// committed completion among its running jobs) — the next time its
+// availability can change, used for all-unavailable parking.
+func (s *Server) drainEndsAt() sim.Time {
+	var at sim.Time
+	for _, j := range s.runJobs {
+		if j.done.At() > at {
+			at = j.done.At()
+		}
+	}
+	return at
+}

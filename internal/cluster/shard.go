@@ -49,6 +49,21 @@ type InterruptRec struct {
 	J  *Job
 }
 
+// DegradeRec is one fail-slow edge: Factor is the new effective speed
+// multiplier (1.0 on restore to full speed).
+type DegradeRec struct {
+	At     sim.Time
+	Server int32
+	Factor float64
+}
+
+// MaintRec is one maintenance-window opening (the drain start; the eventual
+// power-off and repair travel the transition/fault streams).
+type MaintRec struct {
+	At     sim.Time
+	Server int32
+}
+
 // prepCursor resets the cluster-retained per-shard merge cursor (allocated
 // once), so draining allocates nothing.
 func (c *Cluster) prepCursor() []int {
@@ -62,12 +77,12 @@ func (c *Cluster) prepCursor() []int {
 	return cur
 }
 
-// The four Drain* loops below are intentionally parallel copies of one
+// The seven Drain* loops below are intentionally parallel copies of one
 // k-way merge: a generic driver would either box the per-record emit into a
 // per-barrier closure (breaking the zero-alloc epoch) or hide the ordering
 // rule behind adapters. The rule they must share — pop the earliest head,
 // ties to the lowest shard index, per-shard FIFO — is the reproducibility
-// contract; change it in all four together (TestDrainOrderMerged covers
+// contract; change it in all seven together (TestDrainOrderMerged covers
 // each stream).
 
 // DrainChanges replays every logged ChangeRec in merged (time, shard) order
@@ -185,12 +200,99 @@ func (c *Cluster) DrainInterrupts(fn func(t sim.Time, j *Job)) {
 	}
 }
 
+// DrainMigrates replays every logged drain-time migration in merged
+// (time, shard) order, then resets the logs (keeping capacity). Like
+// DrainInterrupts, the session routes each job through its RetryPolicy here.
+func (c *Cluster) DrainMigrates(fn func(t sim.Time, j *Job)) {
+	cur := c.prepCursor()
+	for {
+		best := -1
+		var bestAt sim.Time
+		for s := range c.shards {
+			log := c.shards[s].migrates
+			if cur[s] >= len(log) {
+				continue
+			}
+			if at := log[cur[s]].At; best < 0 || at < bestAt {
+				best, bestAt = s, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := &c.shards[best].migrates[cur[best]]
+		fn(rec.At, rec.J)
+		rec.J = nil // drop the reference so the log slab never pins a pooled job
+		cur[best]++
+	}
+	for s := range c.shards {
+		c.shards[s].migrates = c.shards[s].migrates[:0]
+	}
+}
+
+// DrainDegrades replays every logged fail-slow edge in merged (time, shard)
+// order, then resets the logs (keeping capacity).
+func (c *Cluster) DrainDegrades(fn func(t sim.Time, server int, factor float64)) {
+	cur := c.prepCursor()
+	for {
+		best := -1
+		var bestAt sim.Time
+		for s := range c.shards {
+			log := c.shards[s].degrades
+			if cur[s] >= len(log) {
+				continue
+			}
+			if at := log[cur[s]].At; best < 0 || at < bestAt {
+				best, bestAt = s, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := &c.shards[best].degrades[cur[best]]
+		fn(rec.At, int(rec.Server), rec.Factor)
+		cur[best]++
+	}
+	for s := range c.shards {
+		c.shards[s].degrades = c.shards[s].degrades[:0]
+	}
+}
+
+// DrainMaints replays every logged maintenance-window opening in merged
+// (time, shard) order, then resets the logs (keeping capacity).
+func (c *Cluster) DrainMaints(fn func(t sim.Time, server int)) {
+	cur := c.prepCursor()
+	for {
+		best := -1
+		var bestAt sim.Time
+		for s := range c.shards {
+			log := c.shards[s].maints
+			if cur[s] >= len(log) {
+				continue
+			}
+			if at := log[cur[s]].At; best < 0 || at < bestAt {
+				best, bestAt = s, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := &c.shards[best].maints[cur[best]]
+		fn(rec.At, int(rec.Server))
+		cur[best]++
+	}
+	for s := range c.shards {
+		c.shards[s].maints = c.shards[s].maints[:0]
+	}
+}
+
 // PendingLogs reports whether any shard has undrained log entries (test and
 // invariant surface).
 func (c *Cluster) PendingLogs() bool {
 	for s := range c.shards {
 		g := &c.shards[s]
-		if len(g.changes) > 0 || len(g.dones) > 0 || len(g.trans) > 0 || len(g.interrupts) > 0 {
+		if len(g.changes) > 0 || len(g.dones) > 0 || len(g.trans) > 0 || len(g.interrupts) > 0 ||
+			len(g.migrates) > 0 || len(g.degrades) > 0 || len(g.maints) > 0 {
 			return true
 		}
 	}

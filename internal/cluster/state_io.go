@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hierdrl/internal/checkpoint"
+	"hierdrl/internal/fault"
 	"hierdrl/internal/sim"
 )
 
@@ -186,6 +187,12 @@ func (c *Cluster) SaveState(e *checkpoint.Enc, extra []*Job) map[*Job]int32 {
 			e.F64(s.pending[p])
 		}
 		e.Int(s.running)
+		e.F64(s.speed)
+		e.Bool(s.degraded)
+		e.F64(float64(s.degradedAt))
+		e.F64(s.degradedSec)
+		e.Bool(s.draining)
+		e.I64(s.drains)
 		q := s.queue[s.qhead:]
 		e.Int(len(q))
 		for _, j := range q {
@@ -233,6 +240,7 @@ func (c *Cluster) SaveState(e *checkpoint.Enc, extra []*Job) map[*Job]int32 {
 		e.I64(g.completed)
 		e.I64(g.submitted)
 		e.Int(g.down)
+		e.Int(g.draining)
 		e.I64(g.fails)
 	}
 	return idx
@@ -295,6 +303,21 @@ func (c *Cluster) RestoreState(d *checkpoint.Dec) ([]*Job, error) {
 			s.pending[p] = d.F64()
 		}
 		s.running = d.Int()
+		s.speed = d.F64()
+		s.degraded = d.Bool()
+		s.degradedAt = sim.Time(d.F64())
+		s.degradedSec = d.F64()
+		s.draining = d.Bool()
+		s.drains = d.I64()
+		if err := d.Sticky(); err != nil {
+			return nil, err
+		}
+		if !(s.speed > 0) || math.IsInf(s.speed, 1) {
+			return nil, fmt.Errorf("%w: server %d effective speed %v", checkpoint.ErrCorrupt, s.id, s.speed)
+		}
+		if s.draining && st != StateActive {
+			return nil, fmt.Errorf("%w: server %d draining in power state %v", checkpoint.ErrCorrupt, s.id, st)
+		}
 		nq := d.SliceLen(4)
 		if err := d.Sticky(); err != nil {
 			return nil, err
@@ -350,15 +373,31 @@ func (c *Cluster) RestoreState(d *checkpoint.Dec) ([]*Job, error) {
 		if got, want := s.trans.Pending(), st == StateWaking || st == StateShuttingDown; got != want {
 			return nil, fmt.Errorf("%w: server %d state %v with transition timer %v", checkpoint.ErrCorrupt, s.id, st, got)
 		}
+		// The fault trampoline is selected from the model kind and the
+		// server's phase: a down server's pending timer is always its repair;
+		// otherwise a degrade model alternates start/end on the degraded flag,
+		// a drain model's timer opens the next maintenance window (none is
+		// pending mid-drain — onDrainStart consumed it), and a crash model's
+		// timer is the next crash.
 		fltFn := serverCrash
-		if st == StateDown {
+		switch {
+		case st == StateDown:
 			fltFn = serverRepair
+		case c.faultKind == fault.KindDegrade && s.degraded:
+			fltFn = serverDegradeEnd
+		case c.faultKind == fault.KindDegrade:
+			fltFn = serverDegradeStart
+		case c.faultKind == fault.KindDrain:
+			fltFn = serverDrainStart
 		}
 		if s.flt, err = restoreTimer(d, s.sm, fltFn, s); err != nil {
 			return nil, err
 		}
 		if s.flt.Pending() && s.fclock == nil {
 			return nil, fmt.Errorf("%w: server %d fault timer without a failure clock", checkpoint.ErrCorrupt, s.id)
+		}
+		if s.draining && s.flt.Pending() {
+			return nil, fmt.Errorf("%w: server %d draining with a pending fault timer", checkpoint.ErrCorrupt, s.id)
 		}
 		s.fails = d.I64()
 		s.repairs = d.I64()
@@ -417,11 +456,15 @@ func (c *Cluster) RestoreState(d *checkpoint.Dec) ([]*Job, error) {
 		g.completed = d.I64()
 		g.submitted = d.I64()
 		g.down = d.Int()
+		g.draining = d.Int()
 		g.fails = d.I64()
 		g.changes = g.changes[:0]
 		g.dones = g.dones[:0]
 		g.trans = g.trans[:0]
 		g.interrupts = g.interrupts[:0]
+		g.migrates = g.migrates[:0]
+		g.degrades = g.degrades[:0]
+		g.maints = g.maints[:0]
 	}
 	if err := d.Sticky(); err != nil {
 		return nil, err

@@ -177,7 +177,7 @@ func TestClusterCheckpointRoundTripWithFaults(t *testing.T) {
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}
-			c.EnableFaults(model.ClockFor)
+			c.EnableFaults(model.ClockFor, fault.KindCrash, 1)
 			c.OnInterrupt = func(t sim.Time, j *Job) { *lost = append(*lost, j.ID) }
 			return c, sm
 		}
@@ -236,7 +236,7 @@ func TestClusterRestoreFaultFlagMismatch(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	model, _ := fault.NewExpCrash(1, 100, 10)
-	c2.EnableFaults(model.ClockFor)
+	c2.EnableFaults(model.ClockFor, fault.KindCrash, 1)
 	seq, prioSeq, nFired := sm.Counters()
 	sm2.RestoreBegin(sm.Now(), seq, prioSeq, nFired)
 

@@ -149,12 +149,264 @@ func (b Backoff) Retry(now float64, j trace.Job, attempt int) (float64, bool) {
 	if b.Max > 0 && attempt > b.Max {
 		return 0, false
 	}
-	d := math.Ldexp(b.BaseSec, attempt-1) // base * 2^(attempt-1); Inf-safe
-	if d > b.CapSec {
+	// Ldexp overflows to +Inf past attempt ~1075 (and a poisoned BaseSec can
+	// yield NaN); the inverted comparison clamps every non-finite value to the
+	// cap, so the delay handed to the event clock is always finite.
+	d := math.Ldexp(b.BaseSec, attempt-1) // base * 2^(attempt-1)
+	if !(d < b.CapSec) {
 		d = b.CapSec
 	}
 	return d, true
 }
+
+// Kind classifies what a model's clock firings do to a server. The engine
+// dispatches on it: crash evicts everything immediately, degrade only slows
+// the server down, drain stops intake and powers off once the server runs dry.
+type Kind uint8
+
+const (
+	// KindCrash kills the server at once: running and queued jobs are evicted
+	// through the retry policy, capacity comes back only at repair.
+	KindCrash Kind = iota
+	// KindDegrade leaves the server up but multiplies its effective speed by
+	// the model's factor (fail-slow); the matching repair restores full speed.
+	KindDegrade
+	// KindDrain starts a planned maintenance window: the server stops
+	// accepting work, migrates its queue, finishes its running jobs, then
+	// powers off gracefully until the window elapses.
+	KindDrain
+)
+
+// Classified is an optional Model extension declaring the fault class of the
+// model's clock firings. Models that do not implement it are crash models
+// (KindCrash), matching the original exp-crash semantics.
+type Classified interface {
+	Kind() Kind
+}
+
+// Degrader is the optional Model extension for KindDegrade models: Factor
+// returns the speed multiplier applied while a server is degraded.
+type Degrader interface {
+	Factor() float64
+}
+
+// Domain groups Count contiguous server IDs into one failure domain (a rack
+// or availability zone). Domains partition the cluster in declaration order,
+// exactly like cluster.Config.Classes partitions it into server classes.
+type Domain struct {
+	// Name labels the domain in diagnostics (may be empty).
+	Name string
+	// Count is the number of consecutive servers in the domain.
+	Count int
+}
+
+// DomainModel is the optional Model extension for topology-aware models: the
+// session uses the returned partition to count whole-domain outages.
+type DomainModel interface {
+	Domains() []Domain
+}
+
+// ValidateDomains checks that domains partition exactly m servers.
+func ValidateDomains(domains []Domain, m int) error {
+	if len(domains) == 0 {
+		return fmt.Errorf("fault: no failure domains declared")
+	}
+	total := 0
+	for i, d := range domains {
+		if d.Count <= 0 {
+			return fmt.Errorf("fault: domain %d (%q) has non-positive count %d", i, d.Name, d.Count)
+		}
+		total += d.Count
+	}
+	if total != m {
+		return fmt.Errorf("fault: domain counts sum to %d, want M=%d", total, m)
+	}
+	return nil
+}
+
+// EqualDomains partitions m servers into n equal contiguous domains (the
+// first m%n domains absorb the remainder), named "dom0".."domN-1".
+func EqualDomains(n, m int) []Domain {
+	if n <= 0 || n > m {
+		n = 1
+	}
+	out := make([]Domain, n)
+	base, rem := m/n, m%n
+	for i := range out {
+		out[i] = Domain{Name: fmt.Sprintf("dom%d", i), Count: base}
+		if i < rem {
+			out[i].Count++
+		}
+	}
+	return out
+}
+
+// CorrelatedCrash is the built-in "correlated-crash" model: whole failure
+// domains crash and repair together. Every member of a domain receives its
+// own replica of one domain-level RNG chain — a two-level splitmix64 chain
+// seeded from (run seed, domain index), the same discipline the workload
+// subsystem uses for component isolation. Because the engine calls
+// NextFailure/NextRepair in strict alternation per server, and all members
+// start up together at t=0, the replicas stay in perpetual lockstep: the
+// whole domain goes down and comes back at identical instants, with zero
+// cross-server (and hence zero cross-shard) draws.
+type CorrelatedCrash struct {
+	domSeed    int64
+	domains    []Domain
+	domainOf   []int32
+	mttf, mttr float64
+}
+
+// NewCorrelatedCrash builds a domain-correlated crash/repair model over m
+// servers. The domain counts must sum to m.
+func NewCorrelatedCrash(seed int64, domains []Domain, m int, mttfSec, mttrSec float64) (*CorrelatedCrash, error) {
+	if !(mttfSec > 0) || math.IsInf(mttfSec, 1) {
+		return nil, fmt.Errorf("fault: MTTF %v must be positive and finite", mttfSec)
+	}
+	if !(mttrSec > 0) || math.IsInf(mttrSec, 1) {
+		return nil, fmt.Errorf("fault: MTTR %v must be positive and finite", mttrSec)
+	}
+	if err := ValidateDomains(domains, m); err != nil {
+		return nil, err
+	}
+	domainOf := make([]int32, 0, m)
+	for g, d := range domains {
+		for i := 0; i < d.Count; i++ {
+			domainOf = append(domainOf, int32(g))
+		}
+	}
+	return &CorrelatedCrash{
+		// Level 1 separates the domain-chain channel from the per-server
+		// channel plain ExpCrash draws from; level 2 (in ClockFor) separates
+		// the domains from each other.
+		domSeed:  chainSeed(seed, 1),
+		domains:  append([]Domain(nil), domains...),
+		domainOf: domainOf,
+		mttf:     mttfSec,
+		mttr:     mttrSec,
+	}, nil
+}
+
+// Name implements Model.
+func (m *CorrelatedCrash) Name() string { return "correlated-crash" }
+
+// Kind implements Classified.
+func (m *CorrelatedCrash) Kind() Kind { return KindCrash }
+
+// Domains implements DomainModel.
+func (m *CorrelatedCrash) Domains() []Domain { return m.domains }
+
+// ClockFor implements Model: all members of a domain share one chain seed,
+// so each holds an identical private replay of the domain schedule.
+func (m *CorrelatedCrash) ClockFor(serverID int) Clock {
+	g := int(m.domainOf[serverID])
+	return &expClock{
+		rng:      mat.NewRNG(chainSeed(m.domSeed, g)),
+		failRate: 1 / m.mttf,
+		repRate:  1 / m.mttr,
+	}
+}
+
+// FailSlow is the built-in "degrade" model: servers never die, they slow
+// down. A firing multiplies the server's effective speed by Factor (jobs
+// started while degraded stretch by 1/Factor); the matching repair restores
+// full speed. Chains are per-server, exactly like ExpCrash.
+type FailSlow struct {
+	seed       int64
+	factor     float64
+	mttd, mttr float64
+}
+
+// NewFailSlow builds a fail-slow model: factor is the degraded speed
+// multiplier in (0, 1), mttdSec the mean time to degrade, mttrSec the mean
+// degraded-window length.
+func NewFailSlow(seed int64, factor, mttdSec, mttrSec float64) (*FailSlow, error) {
+	if !(factor > 0 && factor < 1) {
+		return nil, fmt.Errorf("fault: degrade factor %v must be in (0, 1)", factor)
+	}
+	if !(mttdSec > 0) || math.IsInf(mttdSec, 1) {
+		return nil, fmt.Errorf("fault: MTTF %v must be positive and finite", mttdSec)
+	}
+	if !(mttrSec > 0) || math.IsInf(mttrSec, 1) {
+		return nil, fmt.Errorf("fault: MTTR %v must be positive and finite", mttrSec)
+	}
+	return &FailSlow{seed: seed, factor: factor, mttd: mttdSec, mttr: mttrSec}, nil
+}
+
+// Name implements Model.
+func (m *FailSlow) Name() string { return "degrade" }
+
+// Kind implements Classified.
+func (m *FailSlow) Kind() Kind { return KindDegrade }
+
+// Factor implements Degrader.
+func (m *FailSlow) Factor() float64 { return m.factor }
+
+// ClockFor implements Model: NextFailure is the time to the next degrade
+// onset, NextRepair the degraded-window length.
+func (m *FailSlow) ClockFor(serverID int) Clock {
+	return &expClock{
+		rng:      mat.NewRNG(chainSeed(m.seed, serverID)),
+		failRate: 1 / m.mttd,
+		repRate:  1 / m.mttr,
+	}
+}
+
+// MaintenanceDrain is the built-in "maintenance-drain" model: planned,
+// RNG-free windows. Server i's first window opens everySec*(1 + i/m) after
+// t=0 — an even stagger across one period so the fleet never drains at once —
+// and each later window opens everySec after the previous rejoin. The window
+// lasts windowSec measured from the graceful power-off.
+type MaintenanceDrain struct {
+	everySec, windowSec float64
+	m                   int
+}
+
+// NewMaintenanceDrain builds a planned-maintenance model over m servers.
+func NewMaintenanceDrain(everySec, windowSec float64, m int) (*MaintenanceDrain, error) {
+	if !(everySec > 0) || math.IsInf(everySec, 1) {
+		return nil, fmt.Errorf("fault: drain period %v must be positive and finite", everySec)
+	}
+	if !(windowSec > 0) || math.IsInf(windowSec, 1) {
+		return nil, fmt.Errorf("fault: drain window %v must be positive and finite", windowSec)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("fault: drain model needs a positive cluster size, got %d", m)
+	}
+	return &MaintenanceDrain{everySec: everySec, windowSec: windowSec, m: m}, nil
+}
+
+// Name implements Model.
+func (m *MaintenanceDrain) Name() string { return "maintenance-drain" }
+
+// Kind implements Classified.
+func (m *MaintenanceDrain) Kind() Kind { return KindDrain }
+
+// ClockFor implements Model.
+func (m *MaintenanceDrain) ClockFor(serverID int) Clock {
+	return &drainClock{
+		period: m.everySec,
+		window: m.windowSec,
+		offset: m.everySec * float64(serverID) / float64(m.m),
+	}
+}
+
+// drainClock is the deterministic maintenance schedule: no RNG at all, just
+// the stagger offset folded into the first draw.
+type drainClock struct {
+	period, window, offset float64
+	fired                  bool
+}
+
+func (c *drainClock) NextFailure() float64 {
+	if !c.fired {
+		c.fired = true
+		return c.period + c.offset
+	}
+	return c.period
+}
+
+func (c *drainClock) NextRepair() float64 { return c.window }
 
 // DropAfter is the built-in "drop-after" retry policy: up to Max immediate
 // requeues, then the job is counted lost.

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -95,6 +96,41 @@ func TestBackoffSchedule(t *testing.T) {
 	}
 }
 
+// TestBackoffExtremeAttemptClampsToCap is the overflow regression: Ldexp
+// overflows to +Inf past attempt ~1075, and the clamp must hand the event
+// clock the finite cap, never Inf or NaN — an Inf delay would park the retry
+// forever and a NaN would corrupt the event queue ordering.
+func TestBackoffExtremeAttemptClampsToCap(t *testing.T) {
+	b, err := NewBackoff(30, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j trace.Job
+	for _, attempt := range []int{1074, 1075, 1100, 1 << 20, math.MaxInt32} {
+		d, ok := b.Retry(0, j, attempt)
+		if !ok {
+			t.Fatalf("attempt %d: unexpectedly dropped", attempt)
+		}
+		if d != 600 {
+			t.Fatalf("attempt %d: delay %v, want exactly the 600s cap", attempt, d)
+		}
+		if math.IsInf(d, 0) || math.IsNaN(d) {
+			t.Fatalf("attempt %d: non-finite delay %v", attempt, d)
+		}
+	}
+	// The clamp must be bitwise-neutral below the cap: the small-attempt
+	// schedule is pinned by TestBackoffSchedule, re-check the boundary here.
+	if d, _ := b.Retry(0, j, 5); d != 480 {
+		t.Fatalf("attempt 5: delay %v, want 480 (clamp disturbed the finite path)", d)
+	}
+	// A poisoned policy (zero value, not via NewBackoff) yields NaN from
+	// Ldexp(0, large)*...; even then the delay must come out finite.
+	poisoned := Backoff{BaseSec: math.NaN(), CapSec: 600}
+	if d, ok := poisoned.Retry(0, j, 3); !ok || d != 600 {
+		t.Fatalf("NaN base: got (%v, %v), want (600, true)", d, ok)
+	}
+}
+
 func TestNewBackoffValidation(t *testing.T) {
 	cases := []struct {
 		base, cap float64
@@ -107,6 +143,188 @@ func TestNewBackoffValidation(t *testing.T) {
 		if _, err := NewBackoff(c.base, c.cap, c.max); err == nil {
 			t.Errorf("NewBackoff(%v, %v, %d): want error, got nil", c.base, c.cap, c.max)
 		}
+	}
+}
+
+// TestEqualDomains pins the partition shape: n contiguous domains covering
+// exactly m servers, the first m%n domains one server larger.
+func TestEqualDomains(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want []int
+	}{
+		{3, 10, []int{4, 3, 3}},
+		{5, 30, []int{6, 6, 6, 6, 6}},
+		{1, 7, []int{7}},
+		{4, 4, []int{1, 1, 1, 1}},
+		{0, 5, []int{5}},  // n <= 0 collapses to one domain
+		{-2, 5, []int{5}}, // ditto
+		{9, 5, []int{5}},  // n > m collapses to one domain
+	}
+	for _, c := range cases {
+		got := EqualDomains(c.n, c.m)
+		if len(got) != len(c.want) {
+			t.Fatalf("EqualDomains(%d, %d): %d domains, want %d", c.n, c.m, len(got), len(c.want))
+		}
+		for i, d := range got {
+			if d.Count != c.want[i] {
+				t.Fatalf("EqualDomains(%d, %d)[%d] = %d, want %d", c.n, c.m, i, d.Count, c.want[i])
+			}
+			if want := fmt.Sprintf("dom%d", i); d.Name != want {
+				t.Fatalf("EqualDomains(%d, %d)[%d].Name = %q, want %q", c.n, c.m, i, d.Name, want)
+			}
+		}
+		if err := ValidateDomains(got, c.m); err != nil {
+			t.Fatalf("EqualDomains(%d, %d) fails its own validation: %v", c.n, c.m, err)
+		}
+	}
+}
+
+func TestValidateDomains(t *testing.T) {
+	bad := []struct {
+		name    string
+		domains []Domain
+		m       int
+	}{
+		{"empty", nil, 4},
+		{"undercount", []Domain{{Count: 3}}, 4},
+		{"overcount", []Domain{{Count: 3}, {Count: 3}}, 4},
+		{"zero-count", []Domain{{Count: 0}, {Count: 4}}, 4},
+		{"negative-count", []Domain{{Count: -1}, {Count: 5}}, 4},
+	}
+	for _, c := range bad {
+		if err := ValidateDomains(c.domains, c.m); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+	if err := ValidateDomains([]Domain{{Name: "a", Count: 1}, {Count: 3}}, 4); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+}
+
+// TestCorrelatedCrashLockstep pins the tentpole determinism contract: every
+// member of a failure domain replays the identical domain-level chain (so
+// the whole rack crashes and repairs at the same instants with zero
+// cross-server draws), distinct domains draw from unrelated chains, and the
+// schedule is a pure function of (seed, partition, rates).
+func TestCorrelatedCrashLockstep(t *testing.T) {
+	domains := []Domain{{Name: "r0", Count: 3}, {Name: "r1", Count: 2}, {Name: "r2", Count: 3}}
+	m1, err := NewCorrelatedCrash(42, domains, 8, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewCorrelatedCrash(42, domains, 8, 1000, 100)
+	m3, _ := NewCorrelatedCrash(43, domains, 8, 1000, 100)
+
+	draw := func(c Clock) [8]uint64 {
+		var out [8]uint64
+		for i := 0; i < 4; i++ {
+			out[2*i] = math.Float64bits(c.NextFailure())
+			out[2*i+1] = math.Float64bits(c.NextRepair())
+		}
+		return out
+	}
+
+	// Members of one domain are in lockstep; a reconstructed model agrees.
+	groups := [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7}}
+	var perDomain [3][8]uint64
+	for g, members := range groups {
+		ref := draw(m1.ClockFor(members[0]))
+		perDomain[g] = ref
+		for _, id := range members[1:] {
+			if got := draw(m1.ClockFor(id)); got != ref {
+				t.Fatalf("domain %d: server %d diverges from server %d: %v vs %v",
+					g, id, members[0], got, ref)
+			}
+		}
+		if got := draw(m2.ClockFor(members[0])); got != ref {
+			t.Fatalf("domain %d: same seed reconstructed a different schedule", g)
+		}
+		if got := draw(m3.ClockFor(members[0])); got == ref {
+			t.Fatalf("domain %d: seeds 42 and 43 share a chain", g)
+		}
+	}
+	// Distinct domains draw from distinct chains.
+	if perDomain[0] == perDomain[1] || perDomain[1] == perDomain[2] || perDomain[0] == perDomain[2] {
+		t.Fatalf("domains share a chain: %v", perDomain)
+	}
+	// The domain channel must not collide with ExpCrash's per-server channel
+	// on the same run seed (level-1 separation).
+	exp, _ := NewExpCrash(42, 1000, 100)
+	for id := 0; id < 8; id++ {
+		if draw(exp.ClockFor(id)) == perDomain[0] {
+			t.Fatalf("domain 0 chain collides with exp-crash server %d chain", id)
+		}
+	}
+
+	if _, err := NewCorrelatedCrash(1, domains, 9, 1000, 100); err == nil {
+		t.Fatal("partition not summing to M: want error")
+	}
+	if _, err := NewCorrelatedCrash(1, domains, 8, 0, 100); err == nil {
+		t.Fatal("MTTF 0: want error")
+	}
+}
+
+// TestFailSlowModel pins the degrade model surface: Kind/Factor/Name, the
+// (0,1) factor validation, and per-server deterministic chains.
+func TestFailSlowModel(t *testing.T) {
+	m1, err := NewFailSlow(7, 0.25, 5000, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Name() != "degrade" || m1.Kind() != KindDegrade || m1.Factor() != 0.25 {
+		t.Fatalf("surface: name=%q kind=%d factor=%v", m1.Name(), m1.Kind(), m1.Factor())
+	}
+	for _, f := range []float64{0, 1, -0.5, 1.5, math.NaN(), math.Inf(1)} {
+		if _, err := NewFailSlow(7, f, 5000, 600); err == nil {
+			t.Errorf("factor %v: want error, got nil", f)
+		}
+	}
+	m2, _ := NewFailSlow(7, 0.25, 5000, 600)
+	c1, c2 := m1.ClockFor(3), m2.ClockFor(3)
+	for i := 0; i < 10; i++ {
+		if a, b := c1.NextFailure(), c2.NextFailure(); a != b {
+			t.Fatalf("draw %d: %v vs %v", i, a, b)
+		}
+		if a, b := c1.NextRepair(), c2.NextRepair(); a != b {
+			t.Fatalf("repair draw %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestDrainClockSchedule pins the RNG-free maintenance schedule: server i's
+// first window opens at everySec*(1 + i/m), every later window everySec
+// after the previous rejoin, each lasting exactly windowSec.
+func TestDrainClockSchedule(t *testing.T) {
+	m, err := NewMaintenanceDrain(14400, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "maintenance-drain" || m.Kind() != KindDrain {
+		t.Fatalf("surface: name=%q kind=%d", m.Name(), m.Kind())
+	}
+	for id := 0; id < 4; id++ {
+		c := m.ClockFor(id)
+		first := 14400 * (1 + float64(id)/4)
+		if got := c.NextFailure(); got != first {
+			t.Fatalf("server %d: first window at %v, want %v", id, got, first)
+		}
+		for i := 0; i < 3; i++ {
+			if got := c.NextRepair(); got != 600 {
+				t.Fatalf("server %d: window length %v, want 600", id, got)
+			}
+			if got := c.NextFailure(); got != 14400 {
+				t.Fatalf("server %d: later period %v, want 14400", id, got)
+			}
+		}
+	}
+	for _, bad := range [][2]float64{{0, 600}, {-1, 600}, {14400, 0}, {math.Inf(1), 600}, {14400, math.NaN()}} {
+		if _, err := NewMaintenanceDrain(bad[0], bad[1], 4); err == nil {
+			t.Errorf("NewMaintenanceDrain(%v, %v, 4): want error", bad[0], bad[1])
+		}
+	}
+	if _, err := NewMaintenanceDrain(14400, 600, 0); err == nil {
+		t.Error("m=0: want error")
 	}
 }
 

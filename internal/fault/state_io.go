@@ -13,6 +13,17 @@ func (c *expClock) RestoreState(d *checkpoint.Dec) error {
 	return checkpoint.RestoreRNG(d, c.rng)
 }
 
+// SaveState implements checkpoint.Stateful: the maintenance schedule's only
+// evolving state is whether the stagger offset has been consumed — period,
+// window, and offset are construction config.
+func (c *drainClock) SaveState(e *checkpoint.Enc) { e.Bool(c.fired) }
+
+// RestoreState implements checkpoint.Stateful.
+func (c *drainClock) RestoreState(d *checkpoint.Dec) error {
+	c.fired = d.Bool()
+	return d.Sticky()
+}
+
 // CheckpointStateless marks the retry policies: a job's fate depends only on
 // (now, job, attempt), never on prior calls.
 func (Immediate) CheckpointStateless() {}
@@ -21,6 +32,7 @@ func (DropAfter) CheckpointStateless() {}
 
 var (
 	_ checkpoint.Stateful  = (*expClock)(nil)
+	_ checkpoint.Stateful  = (*drainClock)(nil)
 	_ checkpoint.Stateless = Immediate{}
 	_ checkpoint.Stateless = Backoff{}
 	_ checkpoint.Stateless = DropAfter{}

@@ -52,9 +52,13 @@ type Summary struct {
 	Failures        int64
 	Repairs         int64
 	JobsInterrupted int64 // crash evictions (a job can count more than once)
-	JobsRetried     int64 // evictions the retry policy requeued
+	JobsMigrated    int64 // drain-time migrations (graceful, no work lost)
+	JobsRetried     int64 // evictions/migrations the retry policy requeued
 	JobsLost        int64 // jobs dropped by the retry policy
 	LostWorkSec     float64 // executed-then-discarded work integral
+	DomainOutages   int64 // whole-failure-domain simultaneous-down episodes
+	DegradedSec     float64 // server-seconds spent fail-slow (speed < nominal)
+	Drains          int64 // maintenance windows opened
 }
 
 // String renders the summary as a single aligned row.
@@ -90,9 +94,11 @@ type Collector struct {
 	// Fault tallies, owned by the session's retry path and pushed down via
 	// SetFaultTallies before Summarize.
 	interrupted int64
+	migrated    int64
 	retried     int64
 	lost        int64
 	lostWork    float64
+	domOutages  int64
 }
 
 // NewCollector returns a collector that records a checkpoint every
@@ -149,12 +155,14 @@ func (c *Collector) Reserve(n int) {
 }
 
 // SetFaultTallies records the session-level retry accounting (crash
-// evictions, requeues, drops, and the discarded-work integral) so Summarize
-// can surface it.
-func (c *Collector) SetFaultTallies(interrupted, retried, lost int64, lostWorkSec float64) {
+// evictions, drain migrations, requeues, drops, whole-domain outage episodes,
+// and the discarded-work integral) so Summarize can surface it.
+func (c *Collector) SetFaultTallies(interrupted, migrated, retried, lost, domainOutages int64, lostWorkSec float64) {
 	c.interrupted = interrupted
+	c.migrated = migrated
 	c.retried = retried
 	c.lost = lost
+	c.domOutages = domainOutages
 	c.lostWork = lostWorkSec
 }
 
@@ -202,6 +210,8 @@ func (c *Collector) Summarize(policy string, now sim.Time) Summary {
 		s.Repairs += srv.Repairs()
 		downSec += srv.DownSeconds(now)
 		repairedSec += srv.RepairedDownSeconds()
+		s.DegradedSec += srv.DegradedSeconds(now)
+		s.Drains += srv.Drains()
 	}
 	s.Availability = 1
 	if now > 0 {
@@ -211,9 +221,11 @@ func (c *Collector) Summarize(policy string, now sim.Time) Summary {
 		s.MTTRSec = repairedSec / float64(s.Repairs)
 	}
 	s.JobsInterrupted = c.interrupted
+	s.JobsMigrated = c.migrated
 	s.JobsRetried = c.retried
 	s.JobsLost = c.lost
 	s.LostWorkSec = c.lostWork
+	s.DomainOutages = c.domOutages
 	return s
 }
 

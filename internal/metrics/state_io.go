@@ -24,6 +24,8 @@ func (c *Collector) SaveState(e *checkpoint.Enc) {
 	e.I64(c.retried)
 	e.I64(c.lost)
 	e.F64(c.lostWork)
+	e.I64(c.migrated)
+	e.I64(c.domOutages)
 }
 
 // RestoreState reads what SaveState wrote. checkpointEvery is construction
@@ -50,5 +52,7 @@ func (c *Collector) RestoreState(d *checkpoint.Dec) error {
 	c.retried = d.I64()
 	c.lost = d.I64()
 	c.lostWork = d.F64()
+	c.migrated = d.I64()
+	c.domOutages = d.I64()
 	return d.Sticky()
 }

@@ -26,7 +26,7 @@ func TestCollectorStateRoundTrip(t *testing.T) {
 		sm.Schedule(j.Arrival, func() { c.Submit(j, i%2) })
 	}
 	sm.RunAll(1000)
-	col1.SetFaultTallies(3, 2, 1, 17.5)
+	col1.SetFaultTallies(3, 4, 2, 1, 5, 17.5)
 	if col1.Completed() != 5 || len(col1.Checkpoints()) != 2 {
 		t.Fatalf("precondition: %d completed, %d checkpoints", col1.Completed(), len(col1.Checkpoints()))
 	}
@@ -70,8 +70,10 @@ func TestCollectorStateRoundTrip(t *testing.T) {
 			t.Fatalf("checkpoint %d diverges: %+v vs %+v", i, cps2[i], cps1[i])
 		}
 	}
-	if col2.interrupted != 3 || col2.retried != 2 || col2.lost != 1 || col2.lostWork != 17.5 {
-		t.Fatalf("fault tallies diverge: %d/%d/%d/%v", col2.interrupted, col2.retried, col2.lost, col2.lostWork)
+	if col2.interrupted != 3 || col2.migrated != 4 || col2.retried != 2 || col2.lost != 1 ||
+		col2.domOutages != 5 || col2.lostWork != 17.5 {
+		t.Fatalf("fault tallies diverge: %d/%d/%d/%d/%d/%v", col2.interrupted, col2.migrated,
+			col2.retried, col2.lost, col2.domOutages, col2.lostWork)
 	}
 
 	// The restored collector continues the per-2-completions cadence: one

@@ -42,6 +42,9 @@ type (
 	// RetryPolicy decides whether (and when) a crash-evicted job re-enters
 	// the pending queue.
 	RetryPolicy = fault.RetryPolicy
+	// FailureDomain groups contiguous server IDs into one failure domain
+	// (rack/zone) for topology-aware fault models (Config.Domains).
+	FailureDomain = fault.Domain
 
 	// ClusterJob is the in-flight form of a job inside the simulator, handed
 	// to Allocator.Allocate and the per-job-completion observer. Completed
@@ -330,6 +333,49 @@ func checkRetryConfig(cfg *Config) error {
 	return nil
 }
 
+// EqualDomains splits m servers into n contiguous equal failure domains
+// named "dom0".."domN-1" (the first m%n domains absorb the remainder).
+// Convenience for driver code building Config.Domains.
+func EqualDomains(n, m int) []FailureDomain { return fault.EqualDomains(n, m) }
+
+// domainSpec resolves the failure-domain partition for FaultCorrelatedCrash:
+// an explicit Config.Domains wins, then one domain per heterogeneous server
+// class (classes are contiguous ID ranges, the natural rack analogue), then
+// the whole cluster as a single domain.
+func domainSpec(cfg *Config) []fault.Domain {
+	if len(cfg.Domains) > 0 {
+		return cfg.Domains
+	}
+	if len(cfg.Cluster.Classes) > 0 {
+		out := make([]fault.Domain, len(cfg.Cluster.Classes))
+		for i, cl := range cfg.Cluster.Classes {
+			out[i] = fault.Domain{Name: cl.Name, Count: cl.Count}
+		}
+		return out
+	}
+	return fault.EqualDomains(1, cfg.M)
+}
+
+// degradeFactor resolves FaultDegrade's speed multiplier (default 0.25).
+func degradeFactor(cfg *Config) float64 {
+	if cfg.DegradeFactor == 0 {
+		return 0.25
+	}
+	return cfg.DegradeFactor
+}
+
+// drainSpec resolves FaultDrain's period and window (defaults 14400s / 600s).
+func drainSpec(cfg *Config) (everySec, windowSec float64) {
+	everySec, windowSec = cfg.DrainEverySec, cfg.DrainWindowSec
+	if everySec == 0 {
+		everySec = 14400
+	}
+	if windowSec == 0 {
+		windowSec = 600
+	}
+	return everySec, windowSec
+}
+
 // buildFaultLayer resolves the fault model and retry policy for one session.
 // A nil model (FaultNone, or any factory returning nil) disables the whole
 // subsystem; the retry policy is only built alongside a live model.
@@ -473,6 +519,40 @@ func init() {
 		return fault.NewExpCrash(cfg.Seed, cfg.MTTFSec, cfg.MTTRSec)
 	}, func(cfg *Config) error {
 		if _, err := fault.NewExpCrash(cfg.Seed, cfg.MTTFSec, cfg.MTTRSec); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		return nil
+	})
+	registerFaultModel(FaultCorrelatedCrash, func(cfg *Config) (FaultModel, error) {
+		return fault.NewCorrelatedCrash(cfg.Seed, domainSpec(cfg), cfg.M, cfg.MTTFSec, cfg.MTTRSec)
+	}, func(cfg *Config) error {
+		// The check runs before the cluster default is derived, so only an
+		// explicit Domains override is validated here; class-derived domains
+		// are covered by Cluster.Validate (counts must sum to M either way).
+		if len(cfg.Domains) > 0 {
+			if err := fault.ValidateDomains(cfg.Domains, cfg.M); err != nil {
+				return fmt.Errorf("hierdrl: %w", err)
+			}
+		}
+		if _, err := fault.NewExpCrash(cfg.Seed, cfg.MTTFSec, cfg.MTTRSec); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		return nil
+	})
+	registerFaultModel(FaultDegrade, func(cfg *Config) (FaultModel, error) {
+		return fault.NewFailSlow(cfg.Seed, degradeFactor(cfg), cfg.MTTFSec, cfg.MTTRSec)
+	}, func(cfg *Config) error {
+		if _, err := fault.NewFailSlow(cfg.Seed, degradeFactor(cfg), cfg.MTTFSec, cfg.MTTRSec); err != nil {
+			return fmt.Errorf("hierdrl: %w", err)
+		}
+		return nil
+	})
+	registerFaultModel(FaultDrain, func(cfg *Config) (FaultModel, error) {
+		every, window := drainSpec(cfg)
+		return fault.NewMaintenanceDrain(every, window, cfg.M)
+	}, func(cfg *Config) error {
+		every, window := drainSpec(cfg)
+		if _, err := fault.NewMaintenanceDrain(every, window, cfg.M); err != nil {
 			return fmt.Errorf("hierdrl: %w", err)
 		}
 		return nil

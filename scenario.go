@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hierdrl/internal/cluster"
+	"hierdrl/internal/fault"
 	"hierdrl/internal/trace"
 	"hierdrl/internal/workload"
 )
@@ -72,6 +73,26 @@ type Scenario struct {
 	// Classes optionally declares heterogeneous server classes (counts must
 	// sum to M); empty means the homogeneous default cluster.
 	Classes []ServerClass
+	// Faults optionally enables a registered fault model for the scenario
+	// (empty = fault-free). A fault-enabled scenario replaces the run
+	// config's fault family wholesale in ApplyTo, so the scenario stays a
+	// self-contained, reproducible evaluation setting.
+	Faults FaultKind
+	// MTTFSec/MTTRSec parameterize the crash and degrade fault clocks.
+	MTTFSec float64
+	MTTRSec float64
+	// Domains partitions the cluster into failure domains for
+	// correlated-crash (empty = derived from Classes, else one domain).
+	Domains []FailureDomain
+	// DegradeFactor is the fail-slow speed multiplier (0 = default 0.25).
+	DegradeFactor float64
+	// DrainEverySec/DrainWindowSec parameterize maintenance-drain windows
+	// (0 = defaults 14400 s / 600 s).
+	DrainEverySec  float64
+	DrainWindowSec float64
+	// Retry picks the requeue policy for evicted/migrated jobs (empty keeps
+	// the run config's policy).
+	Retry RetryKind
 }
 
 // Validate checks the scenario's workload and cluster declaration.
@@ -89,6 +110,21 @@ func (s Scenario) Validate() error {
 	cc.Classes = s.Classes
 	if err := cc.Validate(); err != nil {
 		return fmt.Errorf("hierdrl: scenario %q: %w", s.Name, err)
+	}
+	if s.Faults != "" && s.Faults != FaultNone {
+		if _, ok := lookupFaultModel(s.Faults); !ok {
+			return fmt.Errorf("hierdrl: scenario %q: unknown fault model %q", s.Name, s.Faults)
+		}
+		if len(s.Domains) > 0 {
+			if err := fault.ValidateDomains(s.Domains, s.M); err != nil {
+				return fmt.Errorf("hierdrl: scenario %q: %w", s.Name, err)
+			}
+		}
+	}
+	if s.Retry != "" {
+		if _, ok := lookupRetryPolicy(s.Retry); !ok {
+			return fmt.Errorf("hierdrl: scenario %q: unknown retry policy %q", s.Name, s.Retry)
+		}
 	}
 	return nil
 }
@@ -120,13 +156,20 @@ func (s Scenario) Scaled(m, jobs int) Scenario {
 	if len(s.Classes) > 0 {
 		s.Classes = scaleServerClasses(s.Classes, m)
 	}
+	if len(s.Domains) > 0 {
+		s.Domains = scaleFailureDomains(s.Domains, m)
+	}
 	s.M = m
 	return s
 }
 
-// ApplyTo configures cfg to run this scenario: the cluster size and, for
-// heterogeneous scenarios, the server-class layout. Any prior Cluster
-// override is replaced.
+// ApplyTo configures cfg to run this scenario: the cluster size, for
+// heterogeneous scenarios the server-class layout, and for fault-enabled
+// scenarios the whole fault family (model, clocks, domains, drain/degrade
+// parameters, and — when declared — the retry policy). Any prior Cluster
+// override is replaced; fault flags are replaced only when the scenario
+// declares a fault model, so fault-free scenarios still compose with
+// externally configured fault injection.
 func (s Scenario) ApplyTo(cfg *Config) {
 	cfg.M = s.M
 	if len(s.Classes) > 0 {
@@ -136,24 +179,35 @@ func (s Scenario) ApplyTo(cfg *Config) {
 	} else {
 		cfg.Cluster = cluster.Config{}
 	}
+	if s.Faults != "" {
+		cfg.Faults = s.Faults
+		cfg.MTTFSec = s.MTTFSec
+		cfg.MTTRSec = s.MTTRSec
+		cfg.Domains = s.Domains
+		cfg.DegradeFactor = s.DegradeFactor
+		cfg.DrainEverySec = s.DrainEverySec
+		cfg.DrainWindowSec = s.DrainWindowSec
+	}
+	if s.Retry != "" {
+		cfg.Retry = s.Retry
+	}
 }
 
-// scaleServerClasses redistributes class counts proportionally onto m
-// servers with largest-remainder rounding.
-func scaleServerClasses(classes []ServerClass, m int) []ServerClass {
+// scaleCounts redistributes counts proportionally onto a total of m with
+// largest-remainder rounding, keeping every entry at least 1 when m allows.
+func scaleCounts(counts []int, m int) []int {
 	total := 0
-	for _, c := range classes {
-		total += c.Count
+	for _, c := range counts {
+		total += c
 	}
-	out := make([]ServerClass, len(classes))
-	rem := make([]float64, len(classes))
+	out := make([]int, len(counts))
+	rem := make([]float64, len(counts))
 	sum := 0
-	for i, c := range classes {
-		ideal := float64(c.Count) * float64(m) / float64(total)
-		out[i] = c
-		out[i].Count = int(ideal)
-		rem[i] = ideal - float64(out[i].Count)
-		sum += out[i].Count
+	for i, c := range counts {
+		ideal := float64(c) * float64(m) / float64(total)
+		out[i] = int(ideal)
+		rem[i] = ideal - float64(out[i])
+		sum += out[i]
 	}
 	for ; sum < m; sum++ {
 		best := 0
@@ -162,20 +216,58 @@ func scaleServerClasses(classes []ServerClass, m int) []ServerClass {
 				best = i
 			}
 		}
-		out[best].Count++
+		out[best]++
 		rem[best] = -1
 	}
 	for i := range out {
-		if out[i].Count == 0 && m >= len(out) {
+		if out[i] == 0 && m >= len(out) {
 			big := 0
 			for j := range out {
-				if out[j].Count > out[big].Count {
+				if out[j] > out[big] {
 					big = j
 				}
 			}
-			out[big].Count--
-			out[i].Count++
+			out[big]--
+			out[i]++
 		}
+	}
+	return out
+}
+
+// scaleServerClasses redistributes class counts proportionally onto m
+// servers with largest-remainder rounding.
+func scaleServerClasses(classes []ServerClass, m int) []ServerClass {
+	counts := make([]int, len(classes))
+	for i, c := range classes {
+		counts[i] = c.Count
+	}
+	counts = scaleCounts(counts, m)
+	out := make([]ServerClass, len(classes))
+	for i, c := range classes {
+		out[i] = c
+		out[i].Count = counts[i]
+	}
+	return out
+}
+
+// scaleFailureDomains redistributes failure-domain counts proportionally
+// onto m servers, the same way server classes rescale, so a fault-enabled
+// scenario keeps its rack topology shape at any cluster size. When m is
+// smaller than the number of domains the partition collapses to equal
+// domains over min(len, m) racks (every domain must keep >= 1 server).
+func scaleFailureDomains(domains []FailureDomain, m int) []FailureDomain {
+	if m < len(domains) {
+		return EqualDomains(m, m)
+	}
+	counts := make([]int, len(domains))
+	for i, d := range domains {
+		counts[i] = d.Count
+	}
+	counts = scaleCounts(counts, m)
+	out := make([]FailureDomain, len(domains))
+	for i, d := range domains {
+		out[i] = d
+		out[i].Count = counts[i]
 	}
 	return out
 }
@@ -370,6 +462,52 @@ func init() {
 			{Name: "std", Count: 12, Speed: 1.0, Power: PowerModel{IdleW: 87, PeakW: 145, TransitionW: 145}},
 			{Name: "turbo", Count: 8, Speed: 1.5, Power: PowerModel{IdleW: 110, PeakW: 220, TransitionW: 220}},
 		},
+	})
+	RegisterScenario(Scenario{
+		Name:        "rack-outage",
+		Description: "steady load with correlated rack failures: 5 racks of 6, whole racks crash together",
+		M:           30,
+		Workload: WorkloadConfig{
+			NumJobs: 20000,
+			Base:    WorkloadBase{Kind: BaseConstant, Rate: refRate},
+			Classes: []WorkloadClass{googleClass(1)},
+		},
+		Faults:  FaultCorrelatedCrash,
+		MTTFSec: 40000,
+		MTTRSec: 900,
+		Domains: []FailureDomain{
+			{Name: "rack0", Count: 6}, {Name: "rack1", Count: 6}, {Name: "rack2", Count: 6},
+			{Name: "rack3", Count: 6}, {Name: "rack4", Count: 6},
+		},
+		Retry: RetryBackoff,
+	})
+	RegisterScenario(Scenario{
+		Name:        "fail-slow",
+		Description: "diurnal load with fail-slow stragglers: servers degrade to 35% speed, repair restores",
+		M:           30,
+		Workload: WorkloadConfig{
+			NumJobs: 20000,
+			Base:    WorkloadBase{Kind: BaseDiurnal, Rate: refRate, Amplitude: 0.35},
+			Classes: []WorkloadClass{googleClass(1)},
+		},
+		Faults:        FaultDegrade,
+		MTTFSec:       20000,
+		MTTRSec:       1800,
+		DegradeFactor: 0.35,
+	})
+	RegisterScenario(Scenario{
+		Name:        "patch-window",
+		Description: "steady load under rolling maintenance: each server drains for 10 min every 6 h",
+		M:           30,
+		Workload: WorkloadConfig{
+			NumJobs: 20000,
+			Base:    WorkloadBase{Kind: BaseConstant, Rate: refRate},
+			Classes: []WorkloadClass{googleClass(1)},
+		},
+		Faults:         FaultDrain,
+		DrainEverySec:  21600,
+		DrainWindowSec: 600,
+		Retry:          RetryImmediate,
 	})
 	RegisterScenario(Scenario{
 		Name:        "scale-10k-diurnal",

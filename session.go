@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"hierdrl/internal/cluster"
+	"hierdrl/internal/fault"
 	"hierdrl/internal/global"
 	"hierdrl/internal/mat"
 	"hierdrl/internal/metrics"
@@ -48,6 +49,15 @@ type Observer struct {
 	// the backoff before it becomes eligible again. Dropped jobs fire no
 	// callback; they surface as JobsLost in snapshots and the summary.
 	OnJobRetry func(t Time, jobID, attempt int, delaySec float64)
+	// OnServerDegrade fires on each fail-slow edge: factor is the server's
+	// new effective speed multiplier (< 1 entering degradation, 1.0 on
+	// restore to full speed).
+	OnServerDegrade func(t Time, server int, factor float64)
+	// OnDrainStart fires when a maintenance window opens on a server: its
+	// queue has just been migrated and it accepts no new work while the
+	// running jobs finish. The eventual power-off and rejoin surface as
+	// OnServerFail/OnServerRepair like any other outage.
+	OnDrainStart func(t Time, server int)
 }
 
 // sessionOptions collects NewSession's functional options.
@@ -161,13 +171,24 @@ type Session struct {
 	fm    FaultModel
 	rp    RetryPolicy
 	retry map[int]retryInfo // job ID -> attempts + original arrival
-	// Retry accounting: interrupted counts crash evictions, retried the
-	// requeues, lost the drops; lostWork integrates executed-then-discarded
-	// seconds. Pushed into the collector at Result time.
+	// Retry accounting: interrupted counts crash evictions, migrated the
+	// drain-time migrations, retried the requeues, lost the drops; lostWork
+	// integrates executed-then-discarded seconds. Pushed into the collector
+	// at Result time.
 	interrupted int64
+	migrated    int64
 	retried     int64
 	lost        int64
 	lostWork    float64
+
+	// Failure-domain bookkeeping (nil unless the fault model declares
+	// domains): domIdx maps server -> domain, domDown counts each domain's
+	// down members, domainOutages counts episodes where an entire domain was
+	// simultaneously down (incremented when the last member drops).
+	domIdx        []int32
+	domDown       []int32
+	domSize       []int32
+	domainOutages int64
 
 	// err latches the first terminal error (context cancellation or guard
 	// trip): all further clock advances return it and Result reports a
@@ -292,12 +313,28 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	if fm != nil {
 		s.fm, s.rp = fm, rp
 		s.retry = make(map[int]retryInfo)
-		cl.EnableFaults(fm.ClockFor)
+		// Classify the model once: its kind selects the per-server fault
+		// trampoline, a Degrader supplies the fail-slow speed factor, and a
+		// DomainModel's topology feeds the outage-episode counter.
+		kind := fault.KindCrash
+		if c, ok := fm.(fault.Classified); ok {
+			kind = c.Kind()
+		}
+		factor := 1.0
+		if d, ok := fm.(fault.Degrader); ok {
+			factor = d.Factor()
+		}
+		cl.EnableFaults(fm.ClockFor, kind, factor)
+		if dm, ok := fm.(fault.DomainModel); ok {
+			s.initDomains(dm.Domains())
+		}
 	}
 	// Fail/repair edges ride the ordinary transition stream; route it when
-	// anyone listens (mode observer, or fault observers with faults on).
+	// anyone listens (mode observer, or fault observers with faults on) or
+	// when domain outages must be counted off the down/up edges.
 	needTrans := o.obs.OnModeTransition != nil ||
-		(fm != nil && (o.obs.OnServerFail != nil || o.obs.OnServerRepair != nil))
+		(fm != nil && (o.obs.OnServerFail != nil || o.obs.OnServerRepair != nil)) ||
+		s.domIdx != nil
 
 	s.col.OnCheckpoint = o.obs.OnCheckpoint
 	if p == 1 {
@@ -313,6 +350,9 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 		}
 		if fm != nil {
 			cl.OnInterrupt = s.jobInterrupted
+			cl.OnMigrate = s.jobMigrated
+			cl.OnDegrade = s.serverDegraded
+			cl.OnDrainStart = s.drainStarted
 		}
 	} else {
 		// Parallel tier: per-shard observation logs, replayed in merged time
@@ -327,6 +367,9 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 		}
 		if fm != nil {
 			r.onInterrupt = s.jobInterrupted
+			r.onMigrate = s.jobMigrated
+			r.onDegrade = s.serverDegraded
+			r.onMaint = s.drainStarted
 		}
 		if agent != nil {
 			r.preEncode = true
@@ -372,21 +415,66 @@ func (s *Session) jobDone(t sim.Time, j *cluster.Job) {
 	s.pool = append(s.pool, j)
 }
 
+// initDomains builds the server->domain tables a DomainModel needs for
+// outage-episode counting. Domains are contiguous ID ranges in declared
+// order (the same layout the model's per-domain clocks assume).
+func (s *Session) initDomains(domains []fault.Domain) {
+	s.domIdx = make([]int32, s.cl.M())
+	s.domDown = make([]int32, len(domains))
+	s.domSize = make([]int32, len(domains))
+	id := 0
+	for d, dom := range domains {
+		s.domSize[d] = int32(dom.Count)
+		for k := 0; k < dom.Count; k++ {
+			s.domIdx[id] = int32(d)
+			id++
+		}
+	}
+}
+
 // routeTransition fans one power-mode change out to the attached observers,
 // classifying the fault edges: a transition into StateDown is a crash, one
-// out of it a repair.
+// out of it a repair. With failure domains configured it also maintains the
+// per-domain down counters — a whole-domain outage episode is counted when
+// the last member drops.
 func (s *Session) routeTransition(t sim.Time, server int, from, to cluster.PowerState) {
 	if s.obs.OnModeTransition != nil {
 		s.obs.OnModeTransition(t, server, from, to)
 	}
 	if to == cluster.StateDown {
+		if s.domIdx != nil {
+			d := s.domIdx[server]
+			s.domDown[d]++
+			if s.domDown[d] == s.domSize[d] {
+				s.domainOutages++
+			}
+		}
 		if s.obs.OnServerFail != nil {
 			s.obs.OnServerFail(t, server)
 		}
 	} else if from == cluster.StateDown {
+		if s.domIdx != nil {
+			s.domDown[s.domIdx[server]]--
+		}
 		if s.obs.OnServerRepair != nil {
 			s.obs.OnServerRepair(t, server)
 		}
+	}
+}
+
+// serverDegraded routes a fail-slow edge to the observer — invoked at the
+// degrade event in the strict tier, replayed at the epoch barrier in the
+// parallel tier.
+func (s *Session) serverDegraded(t sim.Time, server int, factor float64) {
+	if s.obs.OnServerDegrade != nil {
+		s.obs.OnServerDegrade(t, server, factor)
+	}
+}
+
+// drainStarted routes a maintenance-window opening to the observer.
+func (s *Session) drainStarted(t sim.Time, server int) {
+	if s.obs.OnDrainStart != nil {
+		s.obs.OnDrainStart(t, server)
 	}
 }
 
@@ -406,6 +494,38 @@ func (s *Session) jobInterrupted(t sim.Time, j *cluster.Job) {
 	if started, ok := j.StartedAt(); ok {
 		s.lostWork += float64(t - started)
 	}
+	tj := Job{ID: j.ID, Arrival: float64(t), Duration: j.Duration, Req: j.Req.ToTraceReq()}
+	s.pool = append(s.pool, j)
+	delay, retryJob := s.rp.Retry(float64(t), tj, ri.attempts)
+	if !retryJob || math.IsInf(delay, 1) || math.IsNaN(delay) {
+		s.lost++
+		delete(s.retry, j.ID)
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	s.retry[j.ID] = ri
+	s.retried++
+	tj.Arrival = float64(t) + delay
+	s.requeue(tj)
+	if s.obs.OnJobRetry != nil {
+		s.obs.OnJobRetry(t, j.ID, ri.attempts, delay)
+	}
+}
+
+// jobMigrated is the cluster's drain-migration callback: a queued job handed
+// back when its server opened a maintenance window. It shares the retry
+// path's bookkeeping (attempt counting, original-arrival latency, the same
+// RetryPolicy) but counts as a graceful migration, not an interruption — the
+// job never started on the draining server, so no executed work is lost.
+func (s *Session) jobMigrated(t sim.Time, j *cluster.Job) {
+	ri, ok := s.retry[j.ID]
+	if !ok {
+		ri.orig = float64(j.Arrival)
+	}
+	ri.attempts++
+	s.migrated++
 	tj := Job{ID: j.ID, Arrival: float64(t), Duration: j.Duration, Req: j.Req.ToTraceReq()}
 	s.pool = append(s.pool, j)
 	delay, retryJob := s.rp.Retry(float64(t), tj, ri.attempts)
@@ -563,12 +683,15 @@ func (s *Session) arm() {
 // snapshot, submit, and re-arm for the next pending arrival.
 func (s *Session) pumpFire() {
 	s.pumpTimer = sim.Timer{}
-	if s.fm != nil && s.cl.DownServers() == s.cl.M() {
-		// Every server is down: park the pump at the earliest repair. The
-		// repair event sits in the same (normal) lane with an earlier
+	if s.fm != nil && s.cl.UnavailableServers() == s.cl.M() {
+		// Every server is down or draining: park the pump at the earliest
+		// instant one can change state — a repair, or a draining server
+		// running dry (its power-off then schedules the real repair). The
+		// triggering event sits in the same (normal) lane with an earlier
 		// sequence number, so at that instant it fires before the pump does
-		// and the retried dispatch sees the server back up.
-		at := s.cl.NextRepairAt()
+		// and the retried dispatch sees the updated availability; each
+		// re-park is therefore strictly later and the pump cannot spin.
+		at := s.cl.NextAvailAt()
 		if now := s.sm.Now(); at < now {
 			at = now
 		}
@@ -592,9 +715,10 @@ func (s *Session) pumpFire() {
 	default:
 		target = s.alloc.Allocate(j, s.cl.SnapshotInto(&s.view))
 	}
-	if s.fm != nil && s.cl.Down(target) {
+	if s.fm != nil && !s.cl.Accepting(target) {
 		// Graceful degradation for state-blind allocators (round-robin,
-		// random, a stale DRL pick): cyclically remap onto a live server.
+		// random, a stale DRL pick): cyclically remap onto a server that
+		// accepts work (neither down nor draining).
 		target = s.cl.NextUp(target)
 	}
 	s.cl.Submit(j, target)
@@ -853,6 +977,14 @@ type SessionSnapshot struct {
 	JobsLost     int64
 	LostWorkSec  float64
 	Availability float64
+	// Extended fault classes: ServersUnavailable additionally counts
+	// draining servers; JobsMigrated counts drain-time migrations;
+	// DomainOutages counts whole-failure-domain down episodes; DegradedSec
+	// integrates fail-slow server-seconds.
+	ServersUnavailable int
+	JobsMigrated       int64
+	DomainOutages      int64
+	DegradedSec        float64
 	// View is a freshly captured per-server snapshot (owned by the caller).
 	View *ClusterView
 }
@@ -900,6 +1032,10 @@ func (s *Session) SnapshotInto(dst *SessionSnapshot) {
 	dst.JobsRetried = s.retried
 	dst.JobsLost = s.lost
 	dst.LostWorkSec = s.lostWork
+	dst.ServersUnavailable = s.cl.UnavailableServers()
+	dst.JobsMigrated = s.migrated
+	dst.DomainOutages = s.domainOutages
+	dst.DegradedSec = s.cl.DegradedSeconds(now)
 	dst.Availability = 1
 	if now > 0 {
 		dst.Availability = 1 - s.cl.DownSeconds(now)/(float64(s.cl.M())*now.Seconds())
@@ -927,7 +1063,7 @@ func (s *Session) Result() (*Result, error) {
 	if s.sr != nil && s.sr.merger != nil {
 		s.sr.merger.InvariantCheck(s.cl)
 	}
-	s.col.SetFaultTallies(s.interrupted, s.retried, s.lost, s.lostWork)
+	s.col.SetFaultTallies(s.interrupted, s.migrated, s.retried, s.lost, s.domainOutages, s.lostWork)
 	res := &Result{
 		Summary:     s.col.Summarize(s.cfg.Name, s.Now()),
 		Checkpoints: s.col.Checkpoints(),

@@ -180,11 +180,15 @@ type shardRunner struct {
 	pends  []dispatch
 	commit []dispatch
 
-	// onDone/onTrans/onInterrupt are the replay callbacks, bound once —
-	// passing a method value per round would allocate.
+	// onDone/onTrans/onInterrupt/onMigrate/onDegrade/onMaint are the replay
+	// callbacks, bound once — passing a method value per round would
+	// allocate.
 	onDone      func(sim.Time, *cluster.Job)
 	onTrans     func(sim.Time, int, cluster.PowerState, cluster.PowerState)
 	onInterrupt func(sim.Time, *cluster.Job)
+	onMigrate   func(sim.Time, *cluster.Job)
+	onDegrade   func(sim.Time, int, float64)
+	onMaint     func(sim.Time, int)
 
 	// Allocator strategy flags (classified once at construction).
 	needsView bool // allocator reads server state: refresh the view each epoch
@@ -281,11 +285,22 @@ func (r *shardRunner) replay() {
 	if r.onTrans != nil {
 		s.cl.DrainTrans(r.onTrans)
 	}
+	if r.onMaint != nil {
+		// Maintenance openings replay before the migration stream so an
+		// observer hears OnDrainStart before the window's migrated jobs.
+		s.cl.DrainMaints(r.onMaint)
+	}
+	if r.onDegrade != nil {
+		s.cl.DrainDegrades(r.onDegrade)
+	}
 	if r.onInterrupt != nil {
 		// Crash evictions replay last: a job completed at the same instant its
 		// server died was already running, so its completion wins the tie and
 		// the eviction stream only carries genuinely interrupted work.
 		s.cl.DrainInterrupts(r.onInterrupt)
+	}
+	if r.onMigrate != nil {
+		s.cl.DrainMigrates(r.onMigrate)
 	}
 }
 
@@ -361,14 +376,24 @@ func (r *shardRunner) step() (bool, error) {
 			// current clock (latency still counts from the declared arrival).
 			at = r.clock
 		}
+		if n := len(r.pends); n > 0 && r.pends[n-1].at > at {
+			// Decision instants must never run backwards (the DRL reward
+			// integrator advances to each one). A fault requeue can put a
+			// re-arrival at the head that precedes an uncommitted dispatch's
+			// instant — committed ones are already covered by r.clock — so
+			// clamp to the newest pended instant. Fault-free runs never
+			// requeue and this is a no-op.
+			at = r.pends[n-1].at
+		}
 		r.round(runBefore, at, r.needsView)
-		if s.fm != nil && s.cl.DownServers() == s.cl.M() {
-			// Every server is down at the dispatch instant: run the lanes
-			// through the earliest repair instead of allocating into a dead
-			// cluster. The arrival re-dispatches on the next step against the
-			// repaired state (the sharded analogue of the strict pump parking
-			// at NextRepairAt).
-			r.round(runThrough, s.cl.NextRepairAt(), false)
+		if s.fm != nil && s.cl.UnavailableServers() == s.cl.M() {
+			// Every server is down or draining at the dispatch instant: run
+			// the lanes through the earliest availability change (a repair,
+			// or a draining server running dry) instead of allocating into a
+			// dead cluster. The arrival re-dispatches on the next step
+			// against the updated state (the sharded analogue of the strict
+			// pump parking at NextAvailAt).
+			r.round(runThrough, s.cl.NextAvailAt(), false)
 			return true, nil
 		}
 		r.dispatchNext(at)
@@ -422,10 +447,11 @@ func (r *shardRunner) dispatchNext(at sim.Time) {
 	default:
 		target = s.alloc.Allocate(j, &r.view)
 	}
-	if s.fm != nil && s.cl.Down(target) {
+	if s.fm != nil && !s.cl.Accepting(target) {
 		// State-blind allocators (round-robin, random, a stale DRL head) may
-		// still pick a dead server; remap to the next live one. The all-down
-		// case was stalled out before dispatch, so NextUp always finds one.
+		// still pick a dead or draining server; remap to the next accepting
+		// one. The all-unavailable case was stalled out before dispatch, so
+		// NextUp always finds one.
 		target = s.cl.NextUp(target)
 	}
 	r.pends = append(r.pends, dispatch{job: j, target: target, shard: s.cl.ShardOf(target), at: at})
@@ -470,12 +496,23 @@ func (r *shardRunner) stepUntil(t sim.Time) error {
 		if r.clock > at {
 			at = r.clock
 		}
+		if n := len(r.pends); n > 0 && r.pends[n-1].at > at {
+			// Same monotone-decision clamp as step(): a fault requeue at the
+			// head must not dispatch before an uncommitted earlier decision.
+			at = r.pends[n-1].at
+		}
+		if at > t {
+			// The clamped instant fell beyond the horizon; the arrival stays
+			// pending for a later call, like a late submission.
+			break
+		}
 		r.round(runBefore, at, r.needsView)
-		if s.fm != nil && s.cl.DownServers() == s.cl.M() {
-			// All servers down at the dispatch instant: advance to the
-			// earliest repair if it lies within the horizon, else leave the
-			// arrival pending for a later call (like a late submission).
-			ra := s.cl.NextRepairAt()
+		if s.fm != nil && s.cl.UnavailableServers() == s.cl.M() {
+			// All servers unavailable at the dispatch instant: advance to the
+			// earliest availability change if it lies within the horizon, else
+			// leave the arrival pending for a later call (like a late
+			// submission).
+			ra := s.cl.NextAvailAt()
 			if ra > t {
 				break
 			}
