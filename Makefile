@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke crash-smoke scenario-smoke profile examples-smoke clean
+.PHONY: all build test race vet bench bench-kernels bench-table1 bench-scale bench-check bench-full scale scale-smoke chaos-smoke crash-smoke scenario-smoke obs-smoke profile examples-smoke clean
 
 all: vet build test
 
@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # The kernel micro-benchmark set (also the CI perf-regression smoke).
-KERNEL_BENCH = BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$|BenchmarkLSTMBPTT$$|BenchmarkEventLoop$$|BenchmarkSnapshot$$|BenchmarkAllocateEpoch$$|BenchmarkShardedEpoch$$
+KERNEL_BENCH = BenchmarkMatMulVec$$|BenchmarkMatMulMat$$|BenchmarkQNetInferBatch$$|BenchmarkQNetworkInference$$|BenchmarkQNetworkTrainBatch$$|BenchmarkLSTMPredict$$|BenchmarkLSTMBPTT$$|BenchmarkEventLoop$$|BenchmarkSnapshot$$|BenchmarkAllocateEpoch$$|BenchmarkShardedEpoch$$|BenchmarkTDigestAdd$$|BenchmarkTDigestMerge$$|BenchmarkEpochSpanRecord$$
+KERNEL_PKGS = . ./internal/telemetry
 
 # bench records the full perf trajectory of a PR as three committed JSONs:
 #   BENCH_kernels.json — kernel + hot-path micro-benchmarks
@@ -29,7 +30,7 @@ bench: bench-kernels bench-table1 bench-scale
 bench-kernels:
 	$(GO) test -run=NONE \
 		-bench='$(KERNEL_BENCH)' \
-		-benchmem -count=3 . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+		-benchmem -count=3 $(KERNEL_PKGS) | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@echo wrote BENCH_kernels.json
 
 bench-table1:
@@ -45,7 +46,7 @@ bench-scale:
 # growth always fails; >15% ns/op fails when the cpu matches the baseline's,
 # and is a warning across different machines).
 bench-check:
-	( $(GO) test -run=NONE -bench='$(KERNEL_BENCH)' -benchmem -count=3 . ; \
+	( $(GO) test -run=NONE -bench='$(KERNEL_BENCH)' -benchmem -count=3 $(KERNEL_PKGS) ; \
 	  $(GO) test -run=NONE -bench='BenchmarkTable1_M30$$' -benchtime=1x -benchmem -count=1 . ) \
 		| $(GO) run ./cmd/benchguard BENCH_kernels.json BENCH_table1.json
 
@@ -80,6 +81,15 @@ crash-smoke:
 # the race detector.
 scenario-smoke:
 	$(GO) test -race -run 'TestScenarioBitwiseAcrossShards|TestScenarioCSVRoundTrip|TestHomogeneousClassesBitwiseIdentical' -v .
+
+# obs-smoke is the observability CI gate: the live /metrics + /snapshot scrape
+# of a sharded fault run with a t-digest p99 accuracy check, the Chrome
+# trace-event dump, the telemetry-is-bitwise-invisible pin, and the
+# sketch-checkpoint round trip — all under the race detector — plus the
+# telemetry package's own zero-alloc and merge-determinism pins.
+obs-smoke:
+	$(GO) test -race -run 'TestObsSmoke|TestTelemetryPreservesBitwiseMetrics|TestSketchOnlySummary|TestEpochTraceChromeJSON|TestEpochTraceRequiresShards|TestCheckpointRoundTripSketches' -v .
+	$(GO) test -race ./internal/telemetry
 
 # bench-full additionally regenerates the paper tables/figures benchmarks
 # (minutes, not seconds).

@@ -33,7 +33,11 @@ type Output struct {
 	// Table1 mirrors the end-to-end experiment benchmarks (BenchmarkTable1_*)
 	// the same way: the headline "one full run" cost per PR.
 	Table1 []benchfmt.Benchmark `json:"table1,omitempty"`
-	Raw    []string             `json:"raw"`
+	// Telemetry mirrors the observability hot-path benchmarks (t-digest
+	// add/merge, epoch-span record): the per-job overhead budget of the live
+	// telemetry subsystem, gated like any other kernel.
+	Telemetry []benchfmt.Benchmark `json:"telemetry,omitempty"`
+	Raw       []string             `json:"raw"`
 }
 
 // simBenchmarks are the benchmark name prefixes that make up the "sim"
@@ -44,6 +48,13 @@ var simBenchmarks = []string{
 	"BenchmarkSimulatorEvents",
 	"BenchmarkSnapshot",
 	"BenchmarkAllocateEpoch",
+}
+
+// telemetryBenchmarks are the benchmark name prefixes that make up the
+// "telemetry" section: the mergeable-sketch and epoch-trace hot paths.
+var telemetryBenchmarks = []string{
+	"BenchmarkTDigest",
+	"BenchmarkEpochSpan",
 }
 
 func hasPrefixAny(name string, prefixes []string) bool {
@@ -74,6 +85,9 @@ func main() {
 			}
 			if strings.HasPrefix(b.Name, "BenchmarkTable1_") {
 				out.Table1 = append(out.Table1, b)
+			}
+			if hasPrefixAny(b.Name, telemetryBenchmarks) {
+				out.Telemetry = append(out.Telemetry, b)
 			}
 		}
 	}

@@ -101,6 +101,18 @@ func main() {
 		"run a registered workload scenario (see -list); -servers/-jobs rescale it when set explicitly")
 	list := flag.Bool("list", false,
 		"print registered allocators, power managers, predictors, fault models, retry policies, and scenarios, then exit")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"serve live telemetry on this address (/metrics Prometheus text, /healthz, /snapshot JSON, "+
+			"/debug/pprof); e.g. 127.0.0.1:9188, or 127.0.0.1:0 for an ephemeral port")
+	epochTrace := flag.String("epoch-trace", "",
+		"write the last decision epochs as Chrome trace-event JSON to this file at exit "+
+			"(load in chrome://tracing; requires -shards >= 2)")
+	sketchOnly := flag.Bool("sketch-only", false,
+		"constant-memory quantiles: drop the per-job latency samples and answer p50/p95/p99 "+
+			"from merging t-digest sketches (for unbounded streams)")
+	snapFormat := flag.String("snap-format", "table",
+		"live snapshot format (with -stream): table | json (one object per line, matching the "+
+			"telemetry endpoint's /snapshot schema)")
 	flag.Parse()
 
 	if *list {
@@ -117,6 +129,27 @@ func main() {
 	if msg := checkRegistered("retry policy", *retry, retryPolicyNames()); msg != "" {
 		fmt.Fprintln(os.Stderr, "hiersim: "+msg)
 		os.Exit(2)
+	}
+	if *snapFormat != "table" && *snapFormat != "json" {
+		fmt.Fprintf(os.Stderr, "hiersim: unknown -snap-format %q; supported: table json\n", *snapFormat)
+		os.Exit(2)
+	}
+	if *epochTrace != "" && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "hiersim: -epoch-trace records the parallel tier's decision epochs; it requires -shards >= 2")
+		os.Exit(2)
+	}
+
+	// Telemetry options ride along on every run path (batch, stream,
+	// scenario, scale-10k, resume).
+	var telOpts []hierdrl.SessionOption
+	if *telemetryAddr != "" {
+		telOpts = append(telOpts, hierdrl.WithTelemetry(*telemetryAddr))
+	}
+	if *sketchOnly {
+		telOpts = append(telOpts, hierdrl.WithSketchOnly())
+	}
+	if *epochTrace != "" {
+		telOpts = append(telOpts, hierdrl.WithEpochTraceFile(*epochTrace, 0))
 	}
 
 	var scen *hierdrl.Scenario
@@ -215,8 +248,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("scenario: %v", err)
 		}
-		res, err := hierdrl.RunSource(cfg, src,
-			hierdrl.WithShards(*shards), hierdrl.WithContext(ctx))
+		opts := append([]hierdrl.SessionOption{
+			hierdrl.WithShards(*shards), hierdrl.WithContext(ctx)}, telOpts...)
+		res, err := hierdrl.RunSource(cfg, src, opts...)
 		if err != nil {
 			if ctx.Err() != nil {
 				log.Println("interrupted — partial run discarded")
@@ -232,7 +266,7 @@ func main() {
 		if *stream {
 			log.Fatal("-resume continues a batch run; it cannot be combined with -stream")
 		}
-		runResume(ctx, *resume, *checkpointPath, *checkpointEvery, *series)
+		runResume(ctx, *resume, *checkpointPath, *checkpointEvery, *series, telOpts)
 		return
 	}
 	if *checkpointPath != "" && (*stream || (*system == "scale-10k" && *traceFile == "")) {
@@ -245,7 +279,7 @@ func main() {
 		if *traceFile != "" {
 			log.Fatal("-trace replays a file; with -stream, pipe the CSV to stdin instead")
 		}
-		runStream(ctx, cfg, *shards, *snapEvery, *series)
+		runStream(ctx, cfg, *shards, *snapEvery, *series, *snapFormat == "json", telOpts)
 		return
 	}
 
@@ -256,8 +290,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("workload: %v", err)
 		}
-		res, err := hierdrl.RunStreamed(cfg, src,
-			hierdrl.WithShards(*shards), hierdrl.WithContext(ctx))
+		opts := append([]hierdrl.SessionOption{
+			hierdrl.WithShards(*shards), hierdrl.WithContext(ctx)}, telOpts...)
+		res, err := hierdrl.RunStreamed(cfg, src, opts...)
 		if err != nil {
 			if ctx.Err() != nil {
 				log.Println("interrupted — partial run discarded")
@@ -287,15 +322,16 @@ func main() {
 		tr = hierdrl.SyntheticTraceForCluster(*jobs, *servers, *seed)
 	}
 
-	runBatch(ctx, cfg, tr, *shards, *series, *checkpointPath, *checkpointEvery)
+	runBatch(ctx, cfg, tr, *shards, *series, *checkpointPath, *checkpointEvery, telOpts)
 }
 
 // runBatch replays one materialized trace through a Session the command owns
 // (rather than the Run wrapper), so an interrupt can surface a final
 // snapshot of the partial run — and, with -checkpoint, flush a resumable
 // snapshot file — before exiting.
-func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards int, series bool, ckpt string, every int) {
+func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards int, series bool, ckpt string, every int, telOpts []hierdrl.SessionOption) {
 	opts := []hierdrl.SessionOption{hierdrl.WithShards(shards)}
+	opts = append(opts, telOpts...)
 	if ckpt == "" {
 		// Without checkpointing the context latches cancellation inside the
 		// session (Drain returns it); with checkpointing the drive loop polls
@@ -309,7 +345,8 @@ func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}
-	defer s.Close()
+	defer closeSession(s)
+	logTelemetryAddr(s)
 	if err := s.SubmitTrace(tr); err != nil {
 		log.Fatalf("submit: %v", err)
 	}
@@ -331,7 +368,7 @@ func runBatch(ctx context.Context, cfg hierdrl.Config, tr *hierdrl.Trace, shards
 // runResume restores a session from a snapshot file and drives it to
 // completion, checkpointing onward to ckpt (or back over the source file if
 // -checkpoint was not given) so a resumed run remains interruptible.
-func runResume(ctx context.Context, from, ckpt string, every int, series bool) {
+func runResume(ctx context.Context, from, ckpt string, every int, series bool, telOpts []hierdrl.SessionOption) {
 	if ckpt == "" {
 		ckpt = from
 	}
@@ -339,7 +376,8 @@ func runResume(ctx context.Context, from, ckpt string, every int, series bool) {
 	if err != nil {
 		log.Fatalf("open snapshot: %v", err)
 	}
-	s, err := hierdrl.Restore(f, hierdrl.WithAutoCheckpoint(ckpt, every))
+	opts := append([]hierdrl.SessionOption{hierdrl.WithAutoCheckpoint(ckpt, every)}, telOpts...)
+	s, err := hierdrl.Restore(f, opts...)
 	cerr := f.Close()
 	if err != nil {
 		log.Fatalf("restore: %v", err)
@@ -347,7 +385,8 @@ func runResume(ctx context.Context, from, ckpt string, every int, series bool) {
 	if cerr != nil {
 		log.Fatalf("close snapshot: %v", cerr)
 	}
-	defer s.Close()
+	defer closeSession(s)
+	logTelemetryAddr(s)
 	driveCheckpointed(ctx, s, ckpt)
 	res, err := s.Result()
 	if err != nil {
@@ -497,15 +536,32 @@ func flagWasSet(name string) bool {
 // runStream drives the Session API end to end: Submit per stdin row,
 // StepUntil to chase the ingested arrivals, Snapshot for live progress,
 // Drain + Result at EOF.
-func runStream(ctx context.Context, cfg hierdrl.Config, shards, snapEvery int, series bool) {
-	s, err := hierdrl.NewSession(cfg,
-		hierdrl.WithShards(shards), hierdrl.WithContext(ctx))
+func runStream(ctx context.Context, cfg hierdrl.Config, shards, snapEvery int, series, jsonSnaps bool, telOpts []hierdrl.SessionOption) {
+	opts := append([]hierdrl.SessionOption{
+		hierdrl.WithShards(shards), hierdrl.WithContext(ctx)}, telOpts...)
+	s, err := hierdrl.NewSession(cfg, opts...)
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}
-	defer s.Close()
+	defer closeSession(s)
+	logTelemetryAddr(s)
 
-	printSnapHeader()
+	// printLive emits one live snapshot in the selected format: the table row,
+	// or one JSON object per line matching the telemetry /snapshot schema.
+	printLive := func() {
+		if jsonSnaps {
+			b, err := s.SnapshotJSON()
+			if err != nil {
+				log.Fatalf("snapshot: %v", err)
+			}
+			fmt.Println(string(b))
+			return
+		}
+		printSnap(s.Snapshot())
+	}
+	if !jsonSnaps {
+		printSnapHeader()
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	line := 0
@@ -531,7 +587,7 @@ func runStream(ctx context.Context, cfg hierdrl.Config, shards, snapEvery int, s
 				}
 				log.Fatalf("step: %v", err)
 			}
-			printSnap(s.Snapshot())
+			printLive()
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -546,13 +602,29 @@ func runStream(ctx context.Context, cfg hierdrl.Config, shards, snapEvery int, s
 		}
 		log.Fatalf("drain: %v", err)
 	}
-	printSnap(s.Snapshot())
+	printLive()
 	res, err := s.Result()
 	if err != nil {
 		log.Fatalf("result: %v", err)
 	}
 	fmt.Println()
 	printResult(res, series)
+}
+
+// closeSession closes s, surfacing the only error Close can produce (a
+// failing -epoch-trace dump) instead of discarding it in a defer.
+func closeSession(s *hierdrl.Session) {
+	if err := s.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}
+
+// logTelemetryAddr prints the bound telemetry endpoint (once, to stderr) so
+// ephemeral -telemetry-addr ports ("127.0.0.1:0") are discoverable.
+func logTelemetryAddr(s *hierdrl.Session) {
+	if addr := s.TelemetryAddr(); addr != "" {
+		log.Printf("telemetry: http://%s/metrics", addr)
+	}
 }
 
 func printSnapHeader() {
@@ -585,6 +657,7 @@ func printResult(res *hierdrl.Result, series bool) {
 	fmt.Printf("avg power         %.2f W\n", s.AvgPowerW)
 	fmt.Printf("avg latency       %.1f s\n", s.AvgLatencySec)
 	fmt.Printf("p95 latency       %.1f s\n", s.P95LatencySec)
+	fmt.Printf("p50/p99 latency   %.1f / %.1f s\n", s.P50LatencySec, s.P99LatencySec)
 	fmt.Printf("mean wait         %.1f s\n", s.MeanWaitSec)
 	fmt.Printf("wakeups/shutdowns %d / %d\n", res.TotalWakeups, res.TotalShutdowns)
 	if s.Failures > 0 {

@@ -34,8 +34,9 @@ const Magic = "HDRLCKPT"
 // Version is the current snapshot format version. Readers reject any other
 // version with ErrVersion. Version 2 added the extended fault classes'
 // per-server state (effective speed, degrade and drain bookkeeping) and the
-// session migration/domain tallies.
-const Version uint32 = 2
+// session migration/domain tallies. Version 3 extended the metrics section
+// with the telemetry sketch state (sketch-only flag, wait sum, t-digests).
+const Version uint32 = 3
 
 // maxSectionLen bounds a single section payload (1 GiB) so a corrupt length
 // field cannot drive a huge allocation before the CRC check runs.

@@ -793,6 +793,22 @@ func (c *Cluster) TotalEnergyJoules(t sim.Time) float64 {
 	return e
 }
 
+// RangeEnergyJoules integrates energy through time t over servers [lo, hi).
+// Server classes occupy contiguous index ranges, so per-class rollups are
+// range sums.
+func (c *Cluster) RangeEnergyJoules(t sim.Time, lo, hi int) float64 {
+	var e float64
+	for i := lo; i < hi; i++ {
+		e += c.servers[i].EnergyJoules(t)
+	}
+	return e
+}
+
+// ServerClasses returns the configured heterogeneous classes (nil for a
+// homogeneous cluster). Classes map onto contiguous server-index ranges in
+// declaration order.
+func (c *Cluster) ServerClasses() []ServerClass { return c.cfg.Classes }
+
 // ReliabilityObj returns the Reli(t) term of the global reward (Eqn. 4):
 // a hot-spot penalty sum_m sum_p max(0, u_mp - theta)^2 / (1-theta)^2 over
 // the *committed* utilization (running plus queued demand — a backlogged

@@ -11,6 +11,7 @@ import (
 
 	"hierdrl/internal/cluster"
 	"hierdrl/internal/sim"
+	"hierdrl/internal/telemetry"
 )
 
 // JoulesPerKWh converts joules to kilowatt-hours.
@@ -40,10 +41,15 @@ type Summary struct {
 	AvgPowerW        float64
 	AvgLatencySec    float64
 	AvgEnergyJPerJob float64
-	P95LatencySec    float64
-	MeanWaitSec      float64
-	Wakeups          int64
-	Shutdowns        int64
+	// Latency percentiles. Exact (one sort over the retained per-job slice)
+	// by default; t-digest approximations under sketch-only collection
+	// (documented error bounds in DESIGN.md §17).
+	P50LatencySec float64
+	P95LatencySec float64
+	P99LatencySec float64
+	MeanWaitSec   float64
+	Wakeups       int64
+	Shutdowns     int64
 
 	// Robustness metrics (fault injection). Fault-free runs report
 	// Availability 1 and zeros elsewhere.
@@ -91,6 +97,17 @@ type Collector struct {
 	// whole-cluster energy reading exists (DESIGN.md §12).
 	CheckpointClock func() sim.Time
 
+	// sk, when non-nil, receives every completion into the live quantile
+	// sketches (per-shard latency digests merged deterministically at
+	// publish points, per-job-class digests, wait digest). sketchOnly
+	// additionally drops the O(jobs) latency/wait slices — summary
+	// percentiles then come from the merged sketch and MeanWaitSec from the
+	// incrementally kept waitSum (identical FP accumulation order to the
+	// slice loop it replaces).
+	sk         *telemetry.SketchSet
+	sketchOnly bool
+	waitSum    float64
+
 	// Fault tallies, owned by the session's retry path and pushed down via
 	// SetFaultTallies before Summarize.
 	interrupted int64
@@ -111,12 +128,33 @@ func NewCollector(c *cluster.Cluster, checkpointEvery int) *Collector {
 	return col
 }
 
+// EnableSketches attaches the live quantile sketches (and optionally the
+// sketch-only collection mode) before the first completion is recorded.
+func (c *Collector) EnableSketches(sk *telemetry.SketchSet, sketchOnly bool) {
+	c.sk = sk
+	c.sketchOnly = sketchOnly
+}
+
+// Sketches returns the attached sketch set (nil unless enabled).
+func (c *Collector) Sketches() *telemetry.SketchSet { return c.sk }
+
+// SketchOnly reports whether the per-job sample slices are dropped.
+func (c *Collector) SketchOnly() bool { return c.sketchOnly }
+
 // JobDone records a completed job. Wire it to cluster.OnJobDone.
 func (c *Collector) JobDone(t sim.Time, j *cluster.Job) {
 	lat := j.Latency()
 	c.accLatency += lat
-	c.latencies = append(c.latencies, lat)
-	c.waits = append(c.waits, j.WaitTime())
+	wait := j.WaitTime()
+	if c.sk != nil {
+		c.sk.Record(c.clusterRef.ShardOf(j.Server), telemetry.JobClassOf(j.Duration), lat, wait)
+	}
+	if c.sketchOnly {
+		c.waitSum += wait
+	} else {
+		c.latencies = append(c.latencies, lat)
+		c.waits = append(c.waits, wait)
+	}
 	c.completed++
 	if c.checkpointEvery > 0 && c.completed%c.checkpointEvery == 0 {
 		ct := t
@@ -142,6 +180,9 @@ func (c *Collector) JobDone(t sim.Time, j *cluster.Job) {
 // streams) use it to keep the collection path allocation-free — including
 // on the second and later bounded streams of a long-lived run.
 func (c *Collector) Reserve(n int) {
+	if c.sketchOnly {
+		return // constant memory: nothing to pre-size
+	}
 	need := len(c.latencies) + n
 	if need <= cap(c.latencies) {
 		return
@@ -192,12 +233,30 @@ func (c *Collector) Summarize(policy string, now sim.Time) Summary {
 	if c.completed > 0 {
 		s.AvgLatencySec = c.accLatency / float64(c.completed)
 		s.AvgEnergyJPerJob = energyJ / float64(c.completed)
-		s.P95LatencySec = percentile(c.latencies, 0.95)
-		var w float64
-		for _, x := range c.waits {
-			w += x
+		if c.sketchOnly {
+			// Sketch-only mode: approximate percentiles from the merged
+			// t-digest (the per-job slices were never retained).
+			m := c.sk.MergedLatency()
+			s.P50LatencySec = m.Quantile(0.50)
+			s.P95LatencySec = m.Quantile(0.95)
+			s.P99LatencySec = m.Quantile(0.99)
+			s.MeanWaitSec = c.waitSum / float64(c.completed)
+		} else {
+			// One sorted copy services every quantile (the historical
+			// per-quantile copy+sort was O(k · n log n) at scale). The index
+			// convention matches the historical percentile() exactly, so
+			// P95 stays bitwise identical.
+			sorted := append([]float64(nil), c.latencies...)
+			sort.Float64s(sorted)
+			s.P50LatencySec = quantileSorted(sorted, 0.50)
+			s.P95LatencySec = quantileSorted(sorted, 0.95)
+			s.P99LatencySec = quantileSorted(sorted, 0.99)
+			var w float64
+			for _, x := range c.waits {
+				w += x
+			}
+			s.MeanWaitSec = w / float64(len(c.waits))
 		}
-		s.MeanWaitSec = w / float64(len(c.waits))
 	}
 	for i := 0; i < c.clusterRef.M(); i++ {
 		s.Wakeups += c.clusterRef.Server(i).Wakeups()
@@ -229,12 +288,12 @@ func (c *Collector) Summarize(policy string, now sim.Time) Summary {
 	return s
 }
 
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+// quantileSorted reads quantile p from an already-sorted sample slice,
+// using the same index convention the historical percentile() helper used.
+func quantileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	idx := int(p * float64(len(sorted)-1))
 	return sorted[idx]
 }

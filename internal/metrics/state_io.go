@@ -3,6 +3,7 @@ package metrics
 import (
 	"hierdrl/internal/checkpoint"
 	"hierdrl/internal/sim"
+	"hierdrl/internal/telemetry"
 )
 
 // SaveState serializes the accumulated measurements: per-job samples, the
@@ -26,6 +27,14 @@ func (c *Collector) SaveState(e *checkpoint.Enc) {
 	e.F64(c.lostWork)
 	e.I64(c.migrated)
 	e.I64(c.domOutages)
+	// Telemetry extension (container Version 3): sketch-only flag, the
+	// incrementally kept wait sum, and the live quantile sketches.
+	e.Bool(c.sketchOnly)
+	e.F64(c.waitSum)
+	e.Bool(c.sk != nil)
+	if c.sk != nil {
+		c.sk.SaveState(e)
+	}
 }
 
 // RestoreState reads what SaveState wrote. checkpointEvery is construction
@@ -54,5 +63,23 @@ func (c *Collector) RestoreState(d *checkpoint.Dec) error {
 	c.lostWork = d.F64()
 	c.migrated = d.I64()
 	c.domOutages = d.I64()
+	// Telemetry extension: the snapshot is authoritative for the collection
+	// mode and the sketch contents — a run checkpointed with sketches resumes
+	// with them regardless of which options the restoring caller re-attached
+	// (a restore without them would silently lose the percentile history).
+	c.sketchOnly = d.Bool()
+	c.waitSum = d.F64()
+	hasSk := d.Bool()
+	if err := d.Sticky(); err != nil {
+		return err
+	}
+	if hasSk {
+		if c.sk == nil {
+			c.sk = telemetry.NewSketchSet(c.clusterRef.Shards())
+		}
+		if err := c.sk.RestoreState(d); err != nil {
+			return err
+		}
+	}
 	return d.Sticky()
 }

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The telemetry benchmark set (benchjson "telemetry" section; gated by
+// benchguard through make bench-check): the per-completion sketch insert,
+// the epoch-barrier shard merge, and one epoch-span record.
+
+func BenchmarkTDigestAdd(b *testing.B) {
+	td := NewTDigest(DefaultCompression)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		td.Add(vals[i&8191])
+	}
+}
+
+func BenchmarkTDigestMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	parts := make([]*TDigest, 4)
+	for i := range parts {
+		parts[i] = NewTDigest(DefaultCompression)
+		for k := 0; k < 100000; k++ {
+			parts[i].Add(rng.ExpFloat64() * 100)
+		}
+		parts[i].flush()
+	}
+	dst := NewTDigest(DefaultCompression)
+	MergedInto(dst, parts...) // pre-size the gather arrays
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergedInto(dst, parts...)
+	}
+}
+
+func BenchmarkEpochSpanRecord(b *testing.B) {
+	r := NewEpochRing(4096, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Begin(float64(i), ModeEpoch)
+		sp := r.Cur()
+		t0 := r.NowNs()
+		for s := range sp.Shards {
+			sp.Shards[s].StartNs = t0
+			sp.Shards[s].RunNs = r.NowNs() - t0
+		}
+		sp.ReplayStartNs = r.NowNs()
+		sp.ReplayNs = 1
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func fillSpan(r *EpochRing, at float64, p int) {
+	r.Begin(at, ModeEpoch)
+	sp := r.Cur()
+	base := r.NowNs()
+	for s := 0; s < p; s++ {
+		sp.Shards[s] = PhaseSpan{StartNs: base, WaitNs: int64(100 * s), CommitNs: 50, RunNs: 1000, RefreshNs: 200}
+	}
+	sp.ReplayStartNs, sp.ReplayNs = base+2000, 300
+	sp.AllocStartNs, sp.AllocNs = base+2300, 400
+}
+
+func TestEpochRingWrapAndOrder(t *testing.T) {
+	r := NewEpochRing(4, 2)
+	for i := 0; i < 7; i++ {
+		fillSpan(r, float64(i), 2)
+	}
+	if got := r.Recorded(); got != 7 {
+		t.Fatalf("recorded %d, want 7", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("len %d, want 4", got)
+	}
+	spans := r.Spans(nil)
+	for i, es := range spans {
+		if want := int64(4 + i); es.Epoch != want {
+			t.Fatalf("span %d epoch %d, want %d (chronological order)", i, es.Epoch, want)
+		}
+	}
+}
+
+func TestEpochRingBeginNoAlloc(t *testing.T) {
+	r := NewEpochRing(64, 4)
+	for i := 0; i < 128; i++ {
+		fillSpan(r, float64(i), 4)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(5000, func() {
+		r.Begin(float64(i), ModeEpoch)
+		sp := r.Cur()
+		sp.Shards[0].RunNs = r.NowNs()
+		i++
+	}); avg != 0 {
+		t.Fatalf("EpochRing.Begin allocates %v/op, want 0", avg)
+	}
+}
+
+// TestChromeTraceJSON validates the dump is well-formed Chrome trace-event
+// JSON with per-shard phases and the coordinator lane — the machine-checkable
+// proxy for "loads in chrome://tracing".
+func TestChromeTraceJSON(t *testing.T) {
+	const p = 3
+	r := NewEpochRing(16, p)
+	for i := 0; i < 5; i++ {
+		fillSpan(r, 100*float64(i), p)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	threads := map[int]bool{}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", ev.Name)
+			}
+		case "X":
+			threads[ev.Tid] = true
+			phases[ev.Name]++
+			if ev.Dur <= 0 {
+				t.Errorf("event %q has dur %v", ev.Name, ev.Dur)
+			}
+			if ev.Args["epoch"] == nil || ev.Args["mode"] == nil {
+				t.Errorf("event %q missing epoch/mode args", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for s := 0; s < p; s++ {
+		if !threads[s] {
+			t.Errorf("no events on shard %d lane", s)
+		}
+	}
+	if !threads[p] {
+		t.Errorf("no events on the coordinator lane (tid %d)", p)
+	}
+	for _, name := range []string{"commit", "run", "refresh+encode", "replay", "alloc+gemm", "barrier-wait"} {
+		if phases[name] == 0 {
+			t.Errorf("no %q events in trace", name)
+		}
+	}
+}

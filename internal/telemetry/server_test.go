@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// Before any publish: /metrics serves only process self-metrics,
+	// /snapshot 503s.
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "go_goroutines") {
+		t.Fatalf("/metrics pre-publish = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/snapshot"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/snapshot pre-publish code = %d, want 503", code)
+	}
+
+	srv.Publish([]byte("# TYPE hierdrl_jobs_completed_total counter\nhierdrl_jobs_completed_total 42\n"),
+		[]byte(`{"Completed":42}`))
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"hierdrl_jobs_completed_total 42", "go_heap_alloc_bytes", "process_uptime_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := get(t, base+"/snapshot"); code != 200 || body != `{"Completed":42}` {
+		t.Fatalf("/snapshot = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"hierdrl/internal/metrics"
 	"hierdrl/internal/policy"
 	"hierdrl/internal/sim"
+	"hierdrl/internal/telemetry"
 	"hierdrl/internal/trace"
 )
 
@@ -68,6 +69,10 @@ type sessionOptions struct {
 	shards     int
 	autoPath   string
 	autoEvery  int
+	sketchOnly bool   // WithSketchOnly: constant-memory quantile sketches
+	telAddr    string // WithTelemetry: HTTP observability endpoint address
+	etraceCap  int    // WithEpochTrace: ring capacity (0 = off)
+	etracePath string // WithEpochTraceFile: Chrome-trace dump at Close
 }
 
 // SessionOption configures NewSession.
@@ -166,6 +171,10 @@ type Session struct {
 	// with WithAutoCheckpoint, leaving one never-taken nil check per epoch).
 	auto *autoCheckpoint
 
+	// tel is the live-telemetry layer (nil unless configured with
+	// WithTelemetry or WithEpochTraceFile; same one-nil-check discipline).
+	tel *sessionTelemetry
+
 	// Fault layer (all nil/zero when Config.Faults is FaultNone, leaving
 	// every fault branch below a never-taken nil check).
 	fm    FaultModel
@@ -249,6 +258,9 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	if p < 1 {
 		p = 1
 	}
+	if o.etraceCap > 0 && p < 2 {
+		return nil, errors.New("hierdrl: WithEpochTrace requires WithShards(p >= 2)")
+	}
 	lanes := make([]*sim.Simulator, p)
 	for i := range lanes {
 		lanes[i] = sim.New()
@@ -296,6 +308,11 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 	}
 	if o.ctx != nil {
 		s.done = o.ctx.Done()
+	}
+	if o.sketchOnly || o.telAddr != "" {
+		// Quantile sketches feed the live endpoint's percentiles; under
+		// sketch-only they also replace the per-job sample slices entirely.
+		s.col.EnableSketches(telemetry.NewSketchSet(p), o.sketchOnly)
 	}
 	// Classify the allocator's state needs once: least-loaded runs off the
 	// cluster's incremental per-shard load index (enabled here so it is
@@ -359,6 +376,9 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 		// order at each epoch barrier (shard_engine.go).
 		cl.SetAsync(agent != nil, needTrans)
 		r := &shardRunner{s: s, p: p}
+		if o.etraceCap > 0 {
+			r.etrace = telemetry.NewEpochRing(o.etraceCap, p)
+		}
 		r.fastLL = s.fastLL
 		r.needsView = !s.fastLL && !s.viewFree
 		r.onDone = s.jobDone
@@ -397,6 +417,21 @@ func newPass(cfg Config, agent *global.Agent, rng *mat.RNG, checkpointEvery int,
 			every = 1
 		}
 		s.auto = &autoCheckpoint{path: o.autoPath, every: every, keep: autoKeep}
+	}
+	if o.telAddr != "" || o.etracePath != "" {
+		t := &sessionTelemetry{every: telemetryPublishEvery, etracePath: o.etracePath}
+		if o.telAddr != "" {
+			srv, serr := telemetry.NewServer(o.telAddr)
+			if serr != nil {
+				s.Close()
+				return nil, fmt.Errorf("hierdrl: %w", serr)
+			}
+			t.srv = srv
+		}
+		s.tel = t
+		if t.srv != nil {
+			t.publish(s) // initial blobs: /metrics and /snapshot answer before the first epoch
+		}
 	}
 	return s, nil
 }
@@ -819,6 +854,9 @@ func (s *Session) Step() (bool, error) {
 				return ok, aerr
 			}
 		}
+		if ok {
+			s.telTick()
+		}
 		return ok, nil
 	}
 	if err := s.ctxErr(); err != nil {
@@ -832,6 +870,9 @@ func (s *Session) Step() (bool, error) {
 		if err := s.autoTick(); err != nil {
 			return true, err
 		}
+	}
+	if fired {
+		s.telTick()
 	}
 	return fired, nil
 }
@@ -850,6 +891,7 @@ func (s *Session) StepUntil(t Time) error {
 		if err := s.fail(s.sr.stepUntil(t)); err != nil {
 			return err
 		}
+		s.telTick()
 		return s.autoTick()
 	}
 	for i := 0; ; i++ {
@@ -871,6 +913,7 @@ func (s *Session) StepUntil(t Time) error {
 				return err
 			}
 		}
+		s.telTick()
 	}
 	s.sm.Run(t) // queue is past t: just advances the clock to t
 	return nil
@@ -886,11 +929,12 @@ func (s *Session) Drain() error {
 		return s.err
 	}
 	if s.sr != nil {
-		if s.auto == nil {
+		if s.auto == nil && s.tel == nil {
 			return s.fail(s.sr.drainAll())
 		}
-		// drainAll is exactly this loop minus the snapshot tick; the split
-		// keeps the common path's epoch loop free of the extra branch.
+		// drainAll is exactly this loop minus the snapshot/telemetry ticks;
+		// the split keeps the common path's epoch loop free of the extra
+		// branches.
 		for {
 			more, err := s.sr.step()
 			if err != nil {
@@ -899,6 +943,7 @@ func (s *Session) Drain() error {
 			if err := s.autoTick(); err != nil {
 				return err
 			}
+			s.telTick()
 			if !more {
 				return nil
 			}
@@ -926,6 +971,7 @@ func (s *Session) Drain() error {
 				return err
 			}
 		}
+		s.telTick()
 	}
 }
 
@@ -1075,6 +1121,10 @@ func (s *Session) Result() (*Result, error) {
 	if s.agent != nil {
 		res.AgentDiag = s.agent.String()
 	}
+	if s.tel != nil && s.tel.srv != nil {
+		// Final publish so a scrape after completion sees the closing state.
+		s.tel.publish(s)
+	}
 	return res, nil
 }
 
@@ -1089,10 +1139,11 @@ func (s *Session) finishEpisode() {
 	}
 }
 
-// Close finalizes the learning episode (if Result has not already), stops
-// the parallel tier's lane workers, and marks the session unusable. It is
-// idempotent and never fails; the error return exists for io.Closer-style
-// call sites.
+// Close finalizes the learning episode (if Result has not already), dumps
+// the epoch-trace file and shuts the telemetry endpoint down (if configured),
+// stops the parallel tier's lane workers, and marks the session unusable. It
+// is idempotent; the only error it can return is a failing epoch-trace dump
+// (WithEpochTraceFile).
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
@@ -1101,9 +1152,10 @@ func (s *Session) Close() error {
 	if s.pumpTimer.Pending() {
 		s.pumpTimer.Cancel()
 	}
+	err := s.telClose()
 	if s.sr != nil {
 		s.sr.stop()
 	}
 	s.closed = true
-	return nil
+	return err
 }

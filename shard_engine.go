@@ -9,6 +9,7 @@ import (
 
 	"hierdrl/internal/cluster"
 	"hierdrl/internal/sim"
+	"hierdrl/internal/telemetry"
 )
 
 // This file is the parallel execution tier (WithShards(P), P >= 2): the
@@ -195,6 +196,14 @@ type shardRunner struct {
 	fastLL    bool // least-loaded via the incremental per-shard LoadIndex
 	preEncode bool // DRL: workers pre-encode their server ranges
 
+	// etrace records per-phase timing spans (nil unless WithEpochTrace):
+	// the coordinator opens a span before each barrier release, each worker
+	// writes only its own Shards slot between release and arrive, and the
+	// coordinator reads everything after join — the barrier's
+	// generation/done synchronization orders the writes, so the ring needs
+	// no locks (see telemetry.EpochRing).
+	etrace *telemetry.EpochRing
+
 	stopped bool
 }
 
@@ -206,6 +215,15 @@ func (r *shardRunner) runPhase(id int) {
 	cl := r.s.cl
 	lane := cl.Lane(id)
 	c := &r.cmd
+	var ps *telemetry.PhaseSpan
+	var t0 int64
+	if r.etrace != nil {
+		ps = &r.etrace.Cur().Shards[id]
+		t0 = r.etrace.NowNs()
+		if id == 0 {
+			ps.StartNs = t0 // the coordinator's inline shard never waits
+		}
+	}
 	for i := range c.d {
 		d := &c.d[i]
 		if d.shard != id {
@@ -219,6 +237,11 @@ func (r *shardRunner) runPhase(id int) {
 		lane.AdvanceTo(d.at)
 		cl.Submit(d.job, d.target)
 	}
+	if ps != nil {
+		now := r.etrace.NowNs()
+		ps.CommitNs = now - t0
+		t0 = now
+	}
 	switch c.mode {
 	case runBefore:
 		lane.RunBefore(c.until)
@@ -227,12 +250,20 @@ func (r *shardRunner) runPhase(id int) {
 	case runAll:
 		lane.RunBefore(infTime)
 	}
+	if ps != nil {
+		now := r.etrace.NowNs()
+		ps.RunNs = now - t0
+		t0 = now
+	}
 	if c.refresh {
 		lo, hi := cl.ShardRange(id)
 		cl.SnapshotRange(&r.view, lo, hi)
 		if r.preEncode {
 			r.s.agent.PreEncodeServers(&r.view, lo, hi)
 		}
+	}
+	if ps != nil {
+		ps.RefreshNs = r.etrace.NowNs() - t0
 	}
 }
 
@@ -241,10 +272,21 @@ func (r *shardRunner) runPhase(id int) {
 func (r *shardRunner) worker(id int) {
 	var gen uint64
 	for {
+		var waitStart int64
+		if r.etrace != nil {
+			waitStart = r.etrace.NowNs()
+		}
 		gen = r.bar.await(gen)
 		if r.cmd.stop {
 			r.bar.arrive()
 			return
+		}
+		if r.etrace != nil {
+			// The span was opened by the coordinator before the release this
+			// await observed; only this worker touches its Shards slot.
+			ps := &r.etrace.Cur().Shards[id]
+			ps.StartNs = waitStart
+			ps.WaitNs = r.etrace.NowNs() - waitStart
 		}
 		r.runPhase(id)
 		r.bar.arrive()
@@ -263,13 +305,26 @@ func (r *shardRunner) round(mode runMode, until sim.Time, refresh bool) {
 		r.pends = r.pends[:copy(r.pends, r.pends[n:])]
 		r.cmd.d = r.commit
 	}
+	if r.etrace != nil {
+		// Open the span before the release so workers can stamp their slots
+		// (runMode and the trace's mode constants coincide by construction).
+		r.etrace.Begin(float64(until), uint8(mode))
+	}
 	r.bar.release()
 	r.runPhase(0)
 	r.bar.join()
 	if c := r.s.cl.Clock(); c > r.clock {
 		r.clock = c
 	}
+	var sp *telemetry.EpochSpan
+	if r.etrace != nil {
+		sp = r.etrace.Cur()
+		sp.ReplayStartNs = r.etrace.NowNs()
+	}
 	r.replay()
+	if sp != nil {
+		sp.ReplayNs = r.etrace.NowNs() - sp.ReplayStartNs
+	}
 }
 
 // replay drains the merged observation streams on the coordinator: the
@@ -428,6 +483,11 @@ func (r *shardRunner) step() (bool, error) {
 // the dispatch for the next phase.
 func (r *shardRunner) dispatchNext(at sim.Time) {
 	s := r.s
+	var sp *telemetry.EpochSpan
+	if r.etrace != nil {
+		sp = r.etrace.Cur()
+		sp.AllocStartNs = r.etrace.NowNs()
+	}
 	tj := s.queue[s.qhead]
 	s.popHead()
 	j := s.takeJob(tj)
@@ -461,6 +521,9 @@ func (r *shardRunner) dispatchNext(at sim.Time) {
 	// entry is not always the maximum.
 	for i := len(r.pends) - 1; i > 0 && r.pends[i].at < r.pends[i-1].at; i-- {
 		r.pends[i], r.pends[i-1] = r.pends[i-1], r.pends[i]
+	}
+	if sp != nil {
+		sp.AllocNs = r.etrace.NowNs() - sp.AllocStartNs
 	}
 }
 
